@@ -1,0 +1,74 @@
+// Reproduces Example 3 / Figure 5: the aggregate disjunctive distance
+// (Eq. 5) over 10,000 uniform points in [-2,2]^3 retrieves the two balls
+// around (-1,-1,-1) and (1,1,1) together. The paper reports 820 points
+// within 1.0 of either center for its draw; the printed summary shows the
+// retrieved set is exactly the union of the two balls (up to ties on the
+// boundary).
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/disjunctive_distance.h"
+#include "dataset/synthetic_gaussian.h"
+#include "index/linear_scan.h"
+
+namespace {
+
+using qcluster::Rng;
+using qcluster::core::Cluster;
+using qcluster::core::DisjunctiveDistance;
+using qcluster::linalg::Vector;
+
+int main_impl() {
+  Rng rng(2003);
+  const std::vector<Vector> points =
+      qcluster::dataset::GenerateUniformCube(10000, 3, -2.0, 2.0, rng);
+  const Vector c1{-1, -1, -1};
+  const Vector c2{1, 1, 1};
+
+  int ground_truth = 0;
+  for (const Vector& p : points) {
+    if (qcluster::linalg::Distance(p, c1) <= 1.0 ||
+        qcluster::linalg::Distance(p, c2) <= 1.0) {
+      ++ground_truth;
+    }
+  }
+
+  std::vector<Cluster> clusters;
+  clusters.push_back(Cluster::FromPoint(c1, 1.0));
+  clusters.push_back(Cluster::FromPoint(c2, 1.0));
+  const DisjunctiveDistance dist(
+      clusters, qcluster::stats::CovarianceScheme::kDiagonal,
+      /*min_variance=*/1.0);
+
+  const qcluster::index::LinearScanIndex idx(&points);
+  const auto result = idx.Search(dist, ground_truth);
+
+  int in_ball1 = 0, in_ball2 = 0, outside = 0;
+  for (const auto& n : result) {
+    const Vector& p = points[static_cast<std::size_t>(n.id)];
+    const bool b1 = qcluster::linalg::Distance(p, c1) <= 1.0;
+    const bool b2 = qcluster::linalg::Distance(p, c2) <= 1.0;
+    if (b1) ++in_ball1;
+    if (b2) ++in_ball2;
+    if (!b1 && !b2) ++outside;
+  }
+
+  std::printf("=== Figure 5 / Example 3: disjunctive query ===\n");
+  std::printf("points in cube:            10000\n");
+  std::printf("ground truth (two balls):  %d (paper's draw: 820)\n",
+              ground_truth);
+  std::printf("retrieved:                 %d\n",
+              static_cast<int>(result.size()));
+  std::printf("  in ball around (-1,-1,-1): %d\n", in_ball1);
+  std::printf("  in ball around (+1,+1,+1): %d\n", in_ball2);
+  std::printf("  outside both balls:        %d\n", outside);
+  std::printf("precision of disjunctive retrieval: %.4f\n",
+              1.0 - static_cast<double>(outside) / result.size());
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -1,0 +1,11 @@
+// Reproduces Figure 9: precision-recall graph of Qcluster per feedback
+// iteration with co-occurrence texture features (same protocol as Fig. 8).
+
+#include "bench_util.h"
+
+int main() {
+  qcluster::bench::RunPrCurveExperiment(
+      qcluster::dataset::FeatureType::kTexture,
+      "Figure 9: Qcluster P-R per iteration (co-occurrence texture)");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 11: recall at k per feedback iteration for the three
+// methods with co-occurrence texture features.
+
+#include "bench_util.h"
+
+int main() {
+  qcluster::bench::RunQualityComparison(
+      qcluster::dataset::FeatureType::kTexture,
+      /*report_precision=*/false,
+      "Figure 11: recall per iteration, three methods (texture)");
+  return 0;
+}

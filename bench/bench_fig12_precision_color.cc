@@ -1,0 +1,12 @@
+// Reproduces Figure 12: precision at k per feedback iteration for the three
+// methods with color-moment features.
+
+#include "bench_util.h"
+
+int main() {
+  qcluster::bench::RunQualityComparison(
+      qcluster::dataset::FeatureType::kColorMoments,
+      /*report_precision=*/true,
+      "Figure 12: precision per iteration, three methods (color moments)");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Figures 14-17: error rate of the adaptive classification
+// algorithm (Algorithm 2) on synthetic 3-cluster Gaussian data in R^16,
+// PCA-reduced to 12/9/6/3 dimensions, as the inter-cluster distance sweeps
+// 0.5..2.5 — for spherical (Fig. 14/16) and elliptical (Fig. 15/17) data,
+// with the inverse-matrix (Fig. 14/15) and diagonal-matrix (Fig. 16/17)
+// Bayesian classifier.
+//
+// Shapes to reproduce: error falls with inter-cluster distance, rises as
+// the PCA dimension drops (information loss), and stays nearly identical
+// across spherical vs elliptical shapes (Theorem 1's linear-transformation
+// invariance).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "core/quality.h"
+#include "dataset/synthetic_gaussian.h"
+#include "linalg/pca.h"
+
+namespace {
+
+using qcluster::Rng;
+using qcluster::core::ClassifierOptions;
+using qcluster::core::Cluster;
+using qcluster::core::LeaveOneOutError;
+using qcluster::dataset::ClusterShape;
+using qcluster::dataset::GaussianClustersOptions;
+using qcluster::dataset::LabeledPoints;
+using qcluster::linalg::Pca;
+using qcluster::linalg::Vector;
+using qcluster::stats::CovarianceScheme;
+
+constexpr int kReducedDims[] = {12, 9, 6, 3};
+constexpr double kDistances[] = {0.5, 1.0, 1.5, 2.0, 2.5};
+
+double ErrorRate(const LabeledPoints& data, int reduced_dim,
+                 CovarianceScheme scheme) {
+  qcluster::Result<Pca> pca = Pca::Fit(data.points);
+  if (!pca.ok()) return 1.0;
+  const std::vector<Vector> reduced =
+      pca.value().TransformAll(data.points, reduced_dim);
+
+  // Ground-truth clusters from the labels.
+  std::vector<Cluster> clusters;
+  for (int c = 0; c < 3; ++c) clusters.emplace_back(reduced_dim);
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    clusters[static_cast<std::size_t>(data.labels[i])].Add(reduced[i], 1.0);
+  }
+
+  ClassifierOptions opt;
+  opt.scheme = scheme;
+  opt.min_variance = 1e-8;  // Well-populated clusters: no flooring needed.
+  return LeaveOneOutError(clusters, opt).error_rate();
+}
+
+void RunFigure(const char* title, ClusterShape shape,
+               CovarianceScheme scheme, int repeats) {
+  std::printf("=== %s ===\n", title);
+  std::printf("%-22s", "inter-cluster dist");
+  for (int dim : kReducedDims) std::printf("   dim=%-3d", dim);
+  std::printf("\n");
+  for (double distance : kDistances) {
+    std::printf("%-22.1f", distance);
+    for (int dim : kReducedDims) {
+      double total_error = 0.0;
+      for (int rep = 0; rep < repeats; ++rep) {
+        Rng rng(9000 + static_cast<std::uint64_t>(distance * 10) * 101 +
+                static_cast<std::uint64_t>(dim) * 7 +
+                static_cast<std::uint64_t>(rep));
+        GaussianClustersOptions opt;
+        opt.dim = 16;
+        opt.num_clusters = 3;
+        opt.points_per_cluster = 100;
+        opt.inter_cluster_distance = distance;
+        opt.shape = shape;
+        total_error += ErrorRate(GenerateGaussianClusters(opt, rng), dim,
+                                 scheme);
+      }
+      std::printf("   %.4f", total_error / repeats);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const char* full = std::getenv("QCLUSTER_BENCH_FULL");
+  const int repeats = (full != nullptr && full[0] == '1') ? 10 : 3;
+  RunFigure("Figure 14: error rate, inverse matrix, spherical clusters",
+            ClusterShape::kSpherical, CovarianceScheme::kInverse, repeats);
+  RunFigure("Figure 15: error rate, inverse matrix, elliptical clusters",
+            ClusterShape::kElliptical, CovarianceScheme::kInverse, repeats);
+  RunFigure("Figure 16: error rate, diagonal matrix, spherical clusters",
+            ClusterShape::kSpherical, CovarianceScheme::kDiagonal, repeats);
+  RunFigure("Figure 17: error rate, diagonal matrix, elliptical clusters",
+            ClusterShape::kElliptical, CovarianceScheme::kDiagonal, repeats);
+  return 0;
+}

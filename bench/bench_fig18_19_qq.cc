@@ -1,0 +1,98 @@
+// Reproduces Figures 18-19: quantile-quantile plot of 100 T² values (in
+// F-statistic form) against 100 randomly drawn critical-distance values
+// (Eq. 20's random-F construction), for 50 same-mean and 50 different-mean
+// cluster pairs, with the inverse-matrix (Fig. 18) and diagonal-matrix
+// (Fig. 19) scheme.
+//
+// Shape to reproduce: same-mean pairs fall on or below the T² = c² line,
+// different-mean pairs fall far above it — the separation that makes the
+// test a usable merge criterion (Algorithm 3).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/distributions.h"
+#include "stats/hotelling.h"
+#include "t2_common.h"
+
+namespace {
+
+using qcluster::Rng;
+using qcluster::bench::MakeReducedPair;
+using qcluster::bench::T2ToF;
+using qcluster::stats::CovarianceScheme;
+
+constexpr int kDim = 12;
+constexpr int kPairsPerKind = 50;
+constexpr double kMeanOffset = 2.0;
+
+/// Eq. 20: a random value from the F distribution via the ratio of two
+/// chi-square draws (normalized by their degrees of freedom).
+double RandomF(double d1, double d2, Rng& rng) {
+  auto chi2 = [&rng](double dof) {
+    double sum = 0.0;
+    for (int i = 0; i < static_cast<int>(dof); ++i) {
+      const double g = rng.Gaussian();
+      sum += g * g;
+    }
+    return sum;
+  };
+  return (chi2(d1) / d1) / (chi2(d2) / d2);
+}
+
+void RunFigure(const char* title, CovarianceScheme scheme,
+               std::uint64_t seed) {
+  Rng rng(seed);
+  const double m_total = 2.0 * qcluster::bench::kPairSize;
+  std::vector<double> f_values;   // F-form T² of each pair.
+  std::vector<double> critical;   // Random critical distances.
+  int same_ok = 0, diff_ok = 0;
+  for (int p = 0; p < 2 * kPairsPerKind; ++p) {
+    const bool same_mean = p < kPairsPerKind;
+    const qcluster::bench::ReducedPair pair =
+        MakeReducedPair(kDim, same_mean, kMeanOffset, rng);
+    const double f = T2ToF(
+        qcluster::stats::HotellingT2(pair.a, pair.b, scheme), m_total, kDim);
+    f_values.push_back(f);
+    const double c = RandomF(kDim, m_total - kDim, rng);
+    critical.push_back(c);
+    // Success criteria the figures illustrate.
+    if (same_mean && f <= qcluster::stats::FUpperQuantile(0.05, kDim,
+                                                          m_total - kDim)) {
+      ++same_ok;
+    }
+    if (!same_mean && f > qcluster::stats::FUpperQuantile(0.05, kDim,
+                                                          m_total - kDim)) {
+      ++diff_ok;
+    }
+  }
+  std::sort(f_values.begin(), f_values.end());
+  std::sort(critical.begin(), critical.end());
+
+  std::printf("=== %s ===\n", title);
+  std::printf("Q-Q pairs (sorted F-form T² vs sorted random critical "
+              "values), every 5th point:\n");
+  std::printf("%-8s %-12s %-12s %-10s\n", "rank", "T2(F-form)", "critical",
+              "above-line");
+  for (std::size_t i = 0; i < f_values.size(); i += 5) {
+    std::printf("%-8d %-12.3f %-12.3f %-10s\n", static_cast<int>(i + 1),
+                f_values[i], critical[i],
+                f_values[i] > critical[i] ? "yes" : "no");
+  }
+  std::printf("same-mean pairs accepted:      %d / %d\n", same_ok,
+              kPairsPerKind);
+  std::printf("different-mean pairs rejected: %d / %d\n\n", diff_ok,
+              kPairsPerKind);
+}
+
+}  // namespace
+
+int main() {
+  RunFigure("Figure 18: Q-Q plot, inverse matrix",
+            CovarianceScheme::kInverse, 601);
+  RunFigure("Figure 19: Q-Q plot, diagonal matrix",
+            CovarianceScheme::kDiagonal, 602);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Index micro-benchmarks: BR-tree best-first k-NN vs exhaustive scan, under
+// the metrics the retrieval methods actually issue (Euclidean, weighted
+// Euclidean, disjunctive aggregate), plus the warm-started refinement
+// search that powers Fig. 7's cost savings.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/cluster.h"
+#include "core/disjunctive_distance.h"
+#include "index/br_tree.h"
+#include "index/linear_scan.h"
+#include "index/va_file.h"
+
+namespace {
+
+using qcluster::bench::BenchScale;
+using qcluster::dataset::FeatureSet;
+
+const FeatureSet& Features() {
+  static const FeatureSet* set = [] {
+    return new FeatureSet(qcluster::bench::BuildOrLoadFeatures(
+        qcluster::dataset::FeatureType::kColorMoments,
+        BenchScale::FromEnv()));
+  }();
+  return *set;
+}
+
+const qcluster::index::BrTree& Tree() {
+  static const auto* tree = new qcluster::index::BrTree(&Features().features);
+  return *tree;
+}
+
+const qcluster::index::LinearScanIndex& Scan() {
+  static const auto* scan =
+      new qcluster::index::LinearScanIndex(&Features().features);
+  return *scan;
+}
+
+const qcluster::index::VaFile& Va() {
+  static const auto* va = new qcluster::index::VaFile(&Features().features);
+  return *va;
+}
+
+void BM_LinearScanEuclidean(benchmark::State& state) {
+  const FeatureSet& set = Features();
+  const qcluster::index::EuclideanDistance dist(set.features[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Scan().Search(dist, 100));
+  }
+}
+
+void BM_BrTreeEuclidean(benchmark::State& state) {
+  const FeatureSet& set = Features();
+  const qcluster::index::EuclideanDistance dist(set.features[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tree().Search(dist, 100));
+  }
+}
+
+qcluster::core::DisjunctiveDistance MakeDisjunctive() {
+  const FeatureSet& set = Features();
+  std::vector<qcluster::core::Cluster> clusters;
+  for (int c = 0; c < 3; ++c) {
+    qcluster::core::Cluster cluster(set.dim());
+    for (int i = 0; i < 20; ++i) {
+      cluster.Add(set.features[static_cast<std::size_t>(c * 400 + i)], 1.0);
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return qcluster::core::DisjunctiveDistance(
+      clusters, qcluster::stats::CovarianceScheme::kDiagonal, 1e-4);
+}
+
+void BM_VaFileEuclidean(benchmark::State& state) {
+  const FeatureSet& set = Features();
+  const qcluster::index::EuclideanDistance dist(set.features[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Va().Search(dist, 100));
+  }
+}
+
+void BM_LinearScanDisjunctive(benchmark::State& state) {
+  const auto dist = MakeDisjunctive();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Scan().Search(dist, 100));
+  }
+}
+
+void BM_BrTreeDisjunctive(benchmark::State& state) {
+  const auto dist = MakeDisjunctive();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tree().Search(dist, 100));
+  }
+}
+
+void BM_VaFileDisjunctive(benchmark::State& state) {
+  const auto dist = MakeDisjunctive();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Va().Search(dist, 100));
+  }
+}
+
+void BM_BrTreeWarmRefinement(benchmark::State& state) {
+  // Cold query then a refined (slightly moved) query warm-started from the
+  // first query's cache — the feedback-iteration pattern.
+  const FeatureSet& set = Features();
+  qcluster::linalg::Vector q = set.features[0];
+  qcluster::linalg::Vector q2 = q;
+  q2[0] += 0.05;
+  for (auto _ : state) {
+    qcluster::index::BrTree::QueryCache cache;
+    benchmark::DoNotOptimize(Tree().SearchCached(
+        qcluster::index::EuclideanDistance(q), 100, cache));
+    benchmark::DoNotOptimize(Tree().SearchCached(
+        qcluster::index::EuclideanDistance(q2), 100, cache));
+  }
+}
+
+BENCHMARK(BM_LinearScanEuclidean)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BrTreeEuclidean)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VaFileEuclidean)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LinearScanDisjunctive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BrTreeDisjunctive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VaFileDisjunctive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BrTreeWarmRefinement)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+#ifndef QCLUSTER_BENCH_T2_COMMON_H_
+#define QCLUSTER_BENCH_T2_COMMON_H_
+
+// Shared workload generation for the Hotelling-T² experiments
+// (Tables 2-3, Figures 18-19): pairs of 16-dimensional Gaussian clusters
+// with a decaying variance spectrum (so a few principal components carry
+// most of the variation, as in the paper's "variation ratio" column),
+// PCA-reduced to the requested dimensionality.
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/pca.h"
+#include "stats/weighted_stats.h"
+
+namespace qcluster::bench {
+
+inline constexpr int kAmbientDim = 16;
+inline constexpr int kPairSize = 30;  // Cluster size (paper: size 30).
+
+/// Component standard deviations with geometric decay: the leading
+/// principal components dominate, giving variation ratios in the 0.9+
+/// range for 3..12 retained components.
+inline std::vector<double> SpectrumStddevs() {
+  std::vector<double> s(kAmbientDim);
+  for (int i = 0; i < kAmbientDim; ++i) {
+    s[static_cast<std::size_t>(i)] = std::pow(0.7, i);
+  }
+  return s;
+}
+
+/// One 16-d point with the decaying spectrum, optionally mean-shifted.
+inline linalg::Vector SpectrumPoint(const std::vector<double>& stddevs,
+                                    const linalg::Vector& mean, Rng& rng) {
+  linalg::Vector p(kAmbientDim);
+  for (int i = 0; i < kAmbientDim; ++i) {
+    p[static_cast<std::size_t>(i)] =
+        mean[static_cast<std::size_t>(i)] +
+        stddevs[static_cast<std::size_t>(i)] * rng.Gaussian();
+  }
+  return p;
+}
+
+struct ReducedPair {
+  stats::WeightedStats a;
+  stats::WeightedStats b;
+  double variation_ratio = 0.0;
+
+  ReducedPair() : a(1), b(1) {}
+};
+
+/// Draws one pair of clusters (same or shifted mean), fits PCA on their
+/// union, and reduces to `reduced_dim` dimensions. `mean_offset` is the
+/// Euclidean length of the shift, spread across the two leading spectrum
+/// directions so the reduced representation retains it.
+inline ReducedPair MakeReducedPair(int reduced_dim, bool same_mean,
+                                   double mean_offset, Rng& rng) {
+  QCLUSTER_CHECK(0 < reduced_dim && reduced_dim <= kAmbientDim);
+  const std::vector<double> stddevs = SpectrumStddevs();
+  linalg::Vector mean_a(kAmbientDim, 0.0);
+  linalg::Vector mean_b(kAmbientDim, 0.0);
+  if (!same_mean) {
+    mean_b[0] = mean_offset / std::sqrt(2.0);
+    mean_b[1] = mean_offset / std::sqrt(2.0);
+  }
+  std::vector<linalg::Vector> pa, pb, all;
+  for (int i = 0; i < kPairSize; ++i) {
+    pa.push_back(SpectrumPoint(stddevs, mean_a, rng));
+    pb.push_back(SpectrumPoint(stddevs, mean_b, rng));
+    all.push_back(pa.back());
+    all.push_back(pb.back());
+  }
+  Result<linalg::Pca> pca = linalg::Pca::Fit(all);
+  QCLUSTER_CHECK_OK(pca.status());
+
+  ReducedPair out;
+  out.variation_ratio = pca.value().VarianceRatio(reduced_dim);
+  out.a = stats::WeightedStats::FromPoints(
+      pca.value().TransformAll(pa, reduced_dim));
+  out.b = stats::WeightedStats::FromPoints(
+      pca.value().TransformAll(pb, reduced_dim));
+  return out;
+}
+
+/// Converts a Hotelling T² into the F statistic the paper's Tables 2-3
+/// tabulate against "quantile-F": F = (m − p − 1) / (p (m − 2)) · T² with
+/// m = total weight of the pair.
+inline double T2ToF(double t2, double m_total, int dim) {
+  return (m_total - dim - 1.0) / (dim * (m_total - 2.0)) * t2;
+}
+
+}  // namespace qcluster::bench
+
+#endif  // QCLUSTER_BENCH_T2_COMMON_H_

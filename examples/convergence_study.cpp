@@ -1,0 +1,95 @@
+// Quantifies the paper's fast-convergence claim ("the retrieval quality
+// increases most at the first iteration") across the three feature types:
+// per-iteration recall deltas, the fraction of the total improvement
+// captured by iteration 1, and the leave-one-out clustering quality
+// (Sec. 4.5) of the final query clusters.
+//
+//   ./build/examples/convergence_study [num_categories] [images_per_category]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/quality.h"
+#include "dataset/feature_database.h"
+#include "dataset/image_collection.h"
+#include "eval/oracle.h"
+#include "eval/simulator.h"
+#include "index/br_tree.h"
+
+using qcluster::dataset::FeatureDatabase;
+using qcluster::dataset::FeatureType;
+
+namespace {
+
+void StudyFeature(const qcluster::dataset::ImageCollection& collection,
+                  FeatureType type, const char* name) {
+  const FeatureDatabase db = FeatureDatabase::Build(collection, type);
+  const qcluster::index::BrTree tree(&db.features());
+  const int k = 100;
+
+  qcluster::core::QclusterOptions opt;
+  opt.k = k;
+  qcluster::core::QclusterEngine engine(&db.features(), &tree, opt);
+  qcluster::eval::OracleUser oracle(&db.categories(), &db.themes(),
+                                    qcluster::eval::OracleOptions{});
+  qcluster::eval::SimulationOptions sim;
+  sim.iterations = 5;
+  sim.k = k;
+
+  qcluster::Rng rng(99);
+  const std::vector<int> queries =
+      qcluster::eval::SampleQueryIds(db.size(), 25, rng);
+  std::vector<qcluster::eval::SessionResult> sessions;
+  double loo_error_sum = 0.0;
+  for (int id : queries) {
+    sessions.push_back(qcluster::eval::SimulateSession(
+        engine, db.features(), oracle, db.categories(), db.themes(), id,
+        sim));
+    // Quality of the final clusters for this query (Sec. 4.5).
+    if (!engine.clusters().empty()) {
+      qcluster::core::ClassifierOptions copt;
+      loo_error_sum +=
+          qcluster::core::LeaveOneOutError(engine.clusters(), copt)
+              .error_rate();
+    }
+  }
+  const qcluster::eval::SessionResult avg =
+      qcluster::eval::AverageSessions(sessions);
+
+  std::printf("%s (dim %d):\n", name, db.dim());
+  std::printf("  recall per round: ");
+  for (const auto& it : avg.iterations) std::printf(" %.3f", it.recall);
+  std::printf("\n  per-iteration gain:");
+  double total_gain = avg.iterations.back().recall -
+                      avg.iterations.front().recall;
+  for (std::size_t r = 1; r < avg.iterations.size(); ++r) {
+    std::printf(" %+.3f",
+                avg.iterations[r].recall - avg.iterations[r - 1].recall);
+  }
+  const double first_gain =
+      avg.iterations[1].recall - avg.iterations[0].recall;
+  std::printf("\n  share of total improvement at iteration 1: %.0f%%\n",
+              total_gain > 0 ? 100.0 * first_gain / total_gain : 0.0);
+  std::printf("  mean final leave-one-out cluster error: %.3f\n\n",
+              loo_error_sum / queries.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qcluster::dataset::ImageCollectionOptions opt;
+  opt.num_categories = argc > 1 ? std::atoi(argv[1]) : 30;
+  opt.images_per_category = argc > 2 ? std::atoi(argv[2]) : 50;
+  const qcluster::dataset::ImageCollection collection(opt);
+  std::printf("convergence study: %d images, 25 queries, 5 iterations, "
+              "k = 100\n\n",
+              opt.num_categories * opt.images_per_category);
+  StudyFeature(collection, FeatureType::kColorMoments, "color moments");
+  StudyFeature(collection, FeatureType::kTexture, "co-occurrence texture");
+  StudyFeature(collection, FeatureType::kColorHistogram, "HSV histogram");
+  std::printf("The paper's observation to look for: the bulk of the gain\n"
+              "lands at iteration 1 (fast convergence to the user's need).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// End-to-end content-based image retrieval on a real (synthesized) image
+// collection: renders a small procedural collection, extracts HSV
+// color-moment features with PCA reduction — the paper's Sec. 5 color
+// pipeline — then runs oracle-driven relevance feedback sessions with
+// Qcluster and both baselines and prints per-iteration quality.
+//
+//   ./build/examples/image_search [num_categories] [images_per_category]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/qex.h"
+#include "baselines/qpm.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "dataset/feature_database.h"
+#include "image/color_moments.h"
+#include "dataset/image_collection.h"
+#include "eval/oracle.h"
+#include "eval/simulator.h"
+#include "index/br_tree.h"
+
+using qcluster::dataset::FeatureDatabase;
+using qcluster::dataset::FeatureType;
+using qcluster::dataset::ImageCollection;
+using qcluster::dataset::ImageCollectionOptions;
+
+int main(int argc, char** argv) {
+  ImageCollectionOptions col_opt;
+  col_opt.num_categories = argc > 1 ? std::atoi(argv[1]) : 20;
+  col_opt.images_per_category = argc > 2 ? std::atoi(argv[2]) : 40;
+
+  std::printf("rendering %d categories x %d images and extracting "
+              "color-moment features...\n",
+              col_opt.num_categories, col_opt.images_per_category);
+  const ImageCollection collection(col_opt);
+  const FeatureDatabase db =
+      FeatureDatabase::Build(collection, FeatureType::kColorMoments);
+  std::printf("feature space: %d dimensions (PCA from %d raw moments)\n\n",
+              db.dim(), qcluster::image::kColorMomentDim);
+
+  const qcluster::index::BrTree tree(&db.features());
+  const int k = 50;
+  const int iterations = 4;
+
+  qcluster::core::QclusterOptions qopt;
+  qopt.k = k;
+  qcluster::core::QclusterEngine qcluster(&db.features(), &tree, qopt);
+  qcluster::baselines::QpmOptions popt;
+  popt.k = k;
+  qcluster::baselines::QueryPointMovement qpm(&db.features(), &tree, popt);
+  qcluster::baselines::QexOptions xopt;
+  xopt.k = k;
+  qcluster::baselines::QueryExpansion qex(&db.features(), &tree, xopt);
+
+  qcluster::eval::OracleUser oracle(&db.categories(), &db.themes(),
+                                    qcluster::eval::OracleOptions{});
+  qcluster::eval::SimulationOptions sim;
+  sim.iterations = iterations;
+  sim.k = k;
+
+  qcluster::Rng rng(7);
+  const std::vector<int> queries =
+      qcluster::eval::SampleQueryIds(db.size(), 20, rng);
+
+  qcluster::core::RetrievalMethod* methods[] = {&qcluster, &qpm, &qex};
+  for (auto* method : methods) {
+    std::vector<qcluster::eval::SessionResult> sessions;
+    for (int id : queries) {
+      sessions.push_back(qcluster::eval::SimulateSession(
+          *method, db.features(), oracle, db.categories(), db.themes(), id,
+          sim));
+    }
+    const qcluster::eval::SessionResult avg =
+        qcluster::eval::AverageSessions(sessions);
+    std::printf("%-9s recall@%d per iteration:   ", method->name().c_str(), k);
+    for (const auto& it : avg.iterations) std::printf(" %.3f", it.recall);
+    std::printf("\n%-9s precision@%d per iteration:", method->name().c_str(),
+                k);
+    for (const auto& it : avg.iterations) std::printf(" %.3f", it.precision);
+    std::printf("\n\n");
+  }
+  std::printf("Qcluster's disjunctive multipoint query should lead on both "
+              "metrics\nby the final iteration (compare Fig. 10-13 of the "
+              "paper).\n");
+  return 0;
+}

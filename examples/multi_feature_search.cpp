@@ -1,0 +1,106 @@
+// Multi-feature retrieval: runs the Qcluster feedback loop independently
+// in the color-moment and texture feature spaces and fuses the two
+// rankings — the MARS-style combination of visual features the paper's
+// system context assumes. Prints per-iteration recall for each single
+// feature and for the two fusion rules.
+//
+//   ./build/examples/multi_feature_search [num_categories] [images_per_category]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "dataset/feature_database.h"
+#include "dataset/image_collection.h"
+#include "eval/fusion.h"
+#include "eval/metrics.h"
+#include "eval/oracle.h"
+#include "index/br_tree.h"
+
+using qcluster::dataset::FeatureDatabase;
+using qcluster::dataset::FeatureType;
+
+int main(int argc, char** argv) {
+  qcluster::dataset::ImageCollectionOptions copt;
+  copt.num_categories = argc > 1 ? std::atoi(argv[1]) : 25;
+  copt.images_per_category = argc > 2 ? std::atoi(argv[2]) : 40;
+  const qcluster::dataset::ImageCollection collection(copt);
+
+  const FeatureDatabase color =
+      FeatureDatabase::Build(collection, FeatureType::kColorMoments);
+  const FeatureDatabase texture =
+      FeatureDatabase::Build(collection, FeatureType::kTexture);
+  const qcluster::index::BrTree color_tree(&color.features());
+  const qcluster::index::BrTree texture_tree(&texture.features());
+
+  const int k = 80;
+  const int iterations = 4;
+  qcluster::core::QclusterOptions qopt;
+  qopt.k = k;
+
+  qcluster::eval::OracleUser oracle(&color.categories(), &color.themes(),
+                                    qcluster::eval::OracleOptions{});
+  qcluster::Rng rng(17);
+  const std::vector<int> queries =
+      rng.SampleWithoutReplacement(color.size(), 20);
+
+  // Per-iteration recall accumulators: color, texture, RRF, score fusion.
+  std::vector<double> recall_color(iterations + 1, 0.0);
+  std::vector<double> recall_texture(iterations + 1, 0.0);
+  std::vector<double> recall_rrf(iterations + 1, 0.0);
+  std::vector<double> recall_wsf(iterations + 1, 0.0);
+
+  for (int qid : queries) {
+    const int cat = color.categories()[static_cast<std::size_t>(qid)];
+    const int theme = color.themes()[static_cast<std::size_t>(qid)];
+    const int total = oracle.CategorySize(cat);
+    auto relevant = [&](int id) { return oracle.IsRelevant(id, cat); };
+
+    qcluster::core::QclusterEngine engine_color(&color.features(),
+                                                &color_tree, qopt);
+    qcluster::core::QclusterEngine engine_texture(&texture.features(),
+                                                  &texture_tree, qopt);
+    auto result_color = engine_color.InitialQuery(
+        color.features()[static_cast<std::size_t>(qid)]);
+    auto result_texture = engine_texture.InitialQuery(
+        texture.features()[static_cast<std::size_t>(qid)]);
+
+    for (int round = 0; round <= iterations; ++round) {
+      recall_color[static_cast<std::size_t>(round)] +=
+          qcluster::eval::RecallAt(result_color, k, total, relevant);
+      recall_texture[static_cast<std::size_t>(round)] +=
+          qcluster::eval::RecallAt(result_texture, k, total, relevant);
+      const auto rrf = qcluster::eval::ReciprocalRankFusion(
+          {result_color, result_texture}, {1.0, 1.0}, k);
+      const auto wsf = qcluster::eval::WeightedScoreFusion(
+          {result_color, result_texture}, {1.0, 1.0}, k);
+      recall_rrf[static_cast<std::size_t>(round)] +=
+          qcluster::eval::RecallAt(rrf, k, total, relevant);
+      recall_wsf[static_cast<std::size_t>(round)] +=
+          qcluster::eval::RecallAt(wsf, k, total, relevant);
+      if (round == iterations) break;
+      // The user judges the *fused* view; both engines learn from it.
+      const auto marked = oracle.Judge(rrf, cat, theme);
+      if (marked.empty()) break;
+      result_color = engine_color.Feedback(marked);
+      result_texture = engine_texture.Feedback(marked);
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(queries.size());
+  auto print = [&](const char* name, std::vector<double>& values) {
+    std::printf("%-22s", name);
+    for (double v : values) std::printf(" %.3f", v * inv);
+    std::printf("\n");
+  };
+  std::printf("recall@%d per iteration (%d queries):\n\n", k,
+              static_cast<int>(queries.size()));
+  print("color only", recall_color);
+  print("texture only", recall_texture);
+  print("fused (recip. rank)", recall_rrf);
+  print("fused (score)", recall_wsf);
+  std::printf("\nFusing complementary feature spaces should match or beat\n"
+              "the best single feature, mirroring multi-feature MARS.\n");
+  return 0;
+}

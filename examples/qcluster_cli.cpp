@@ -1,0 +1,353 @@
+// Interactive / scriptable retrieval browser over the synthetic collection.
+//
+// Drives any of the five retrieval methods through query-by-example and
+// relevance feedback from a small command language, reading commands from
+// stdin (or from arguments, ';'-separated). Examples:
+//
+//   ./build/examples/qcluster_cli "build 20 40 color; method qcluster;
+//       query 0; mark auto; show 10; clusters; metrics; quit"
+//   (one shell argument; commands are ';'-separated)
+//
+//   echo "build 10 30 texture" | ./build/examples/qcluster_cli
+//   (newline-separated commands on stdin)
+//
+// Commands:
+//   build <categories> <images_per_category> [color|texture]
+//   save <path>               cache the current feature set to disk
+//   load <path>               restore a cached feature set
+//   method <qcluster|qpm|qex|falcon|mindreader>
+//   query <image_id>          initial query-by-example
+//   mark auto                 oracle marks relevant in current result, feedback
+//   mark <id>:<score> ...     manual marks, feedback
+//   show [n]                  print top-n of the current result
+//   clusters                  print Qcluster's current clusters
+//   metrics                   precision/recall of the current result
+//   help, quit
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/falcon.h"
+#include "baselines/mindreader.h"
+#include "baselines/qex.h"
+#include "baselines/qpm.h"
+#include "core/engine.h"
+#include "dataset/feature_database.h"
+#include "dataset/feature_io.h"
+#include "dataset/image_collection.h"
+#include "eval/metrics.h"
+#include "eval/oracle.h"
+#include "index/br_tree.h"
+
+namespace {
+
+using qcluster::core::RetrievalMethod;
+
+struct CliState {
+  std::unique_ptr<qcluster::dataset::FeatureSet> db;
+  std::unique_ptr<qcluster::index::BrTree> tree;
+  std::unique_ptr<RetrievalMethod> method;
+  std::unique_ptr<qcluster::eval::OracleUser> oracle;
+  std::string method_name = "qcluster";
+  int k = 50;
+  int query_id = -1;
+  std::vector<qcluster::index::Neighbor> result;
+
+  qcluster::core::QclusterEngine* AsQcluster() {
+    return dynamic_cast<qcluster::core::QclusterEngine*>(method.get());
+  }
+};
+
+void MakeMethod(CliState& state) {
+  if (!state.db) return;
+  const auto* features = &state.db->features;
+  const auto* knn = state.tree.get();
+  if (state.method_name == "qpm") {
+    qcluster::baselines::QpmOptions opt;
+    opt.k = state.k;
+    state.method = std::make_unique<qcluster::baselines::QueryPointMovement>(
+        features, knn, opt);
+  } else if (state.method_name == "qex") {
+    qcluster::baselines::QexOptions opt;
+    opt.k = state.k;
+    state.method =
+        std::make_unique<qcluster::baselines::QueryExpansion>(features, knn,
+                                                              opt);
+  } else if (state.method_name == "falcon") {
+    qcluster::baselines::FalconOptions opt;
+    opt.k = state.k;
+    state.method =
+        std::make_unique<qcluster::baselines::Falcon>(features, knn, opt);
+  } else if (state.method_name == "mindreader") {
+    qcluster::baselines::MindReaderOptions opt;
+    opt.k = state.k;
+    state.method =
+        std::make_unique<qcluster::baselines::MindReader>(features, knn, opt);
+  } else {
+    qcluster::core::QclusterOptions opt;
+    opt.k = state.k;
+    state.method = std::make_unique<qcluster::core::QclusterEngine>(
+        features, knn, opt);
+  }
+}
+
+bool RequireDb(const CliState& state);
+
+/// Installs a feature set and rebuilds the index, oracle, and method.
+void AdoptFeatureSet(CliState& state,
+                     std::unique_ptr<qcluster::dataset::FeatureSet> set) {
+  state.db = std::move(set);
+  state.tree = std::make_unique<qcluster::index::BrTree>(&state.db->features);
+  state.oracle = std::make_unique<qcluster::eval::OracleUser>(
+      &state.db->categories, &state.db->themes,
+      qcluster::eval::OracleOptions{});
+  MakeMethod(state);
+  state.result.clear();
+  state.query_id = -1;
+}
+
+void CmdBuild(CliState& state, std::istringstream& args) {
+  int categories = 20, images = 40;
+  std::string feature = "color";
+  args >> categories >> images >> feature;
+  qcluster::dataset::ImageCollectionOptions opt;
+  opt.num_categories = categories;
+  opt.images_per_category = images;
+  const qcluster::dataset::ImageCollection collection(opt);
+  const qcluster::dataset::FeatureDatabase built =
+      qcluster::dataset::FeatureDatabase::Build(
+          collection, feature == "texture"
+                          ? qcluster::dataset::FeatureType::kTexture
+                          : qcluster::dataset::FeatureType::kColorMoments);
+  auto set = std::make_unique<qcluster::dataset::FeatureSet>();
+  set->features = built.features();
+  set->categories = built.categories();
+  set->themes = built.themes();
+  AdoptFeatureSet(state, std::move(set));
+  std::printf("built %d images (%d categories), %s features, dim %d\n",
+              state.db->size(), categories, feature.c_str(), state.db->dim());
+}
+
+void CmdSave(CliState& state, std::istringstream& args) {
+  if (!RequireDb(state)) return;
+  std::string path;
+  if (!(args >> path)) {
+    std::printf("error: save needs a path\n");
+    return;
+  }
+  const qcluster::Status status = qcluster::dataset::SaveFeatureSet(
+      *state.db, path);
+  std::printf("%s\n", status.ok() ? ("saved to " + path).c_str()
+                                  : status.ToString().c_str());
+}
+
+void CmdLoad(CliState& state, std::istringstream& args) {
+  std::string path;
+  if (!(args >> path)) {
+    std::printf("error: load needs a path\n");
+    return;
+  }
+  qcluster::Result<qcluster::dataset::FeatureSet> loaded =
+      qcluster::dataset::LoadFeatureSet(path);
+  if (!loaded.ok()) {
+    std::printf("%s\n", loaded.status().ToString().c_str());
+    return;
+  }
+  AdoptFeatureSet(state, std::make_unique<qcluster::dataset::FeatureSet>(
+                             std::move(loaded).value()));
+  std::printf("loaded %d features (dim %d) from %s\n", state.db->size(),
+              state.db->dim(), path.c_str());
+}
+
+bool RequireDb(const CliState& state) {
+  if (!state.db) {
+    std::printf("error: run `build` first\n");
+    return false;
+  }
+  return true;
+}
+
+void CmdQuery(CliState& state, std::istringstream& args) {
+  if (!RequireDb(state)) return;
+  int id = -1;
+  args >> id;
+  if (id < 0 || id >= state.db->size()) {
+    std::printf("error: query id out of range [0, %d)\n", state.db->size());
+    return;
+  }
+  state.query_id = id;
+  state.result = state.method->InitialQuery(
+      state.db->features[static_cast<std::size_t>(id)]);
+  std::printf("initial query at image %d (category %d): %d results\n", id,
+              state.db->categories[static_cast<std::size_t>(id)],
+              static_cast<int>(state.result.size()));
+}
+
+void CmdMark(CliState& state, std::istringstream& args) {
+  if (!RequireDb(state)) return;
+  if (state.query_id < 0) {
+    std::printf("error: run `query` first\n");
+    return;
+  }
+  std::string token;
+  std::vector<qcluster::core::RelevantItem> marked;
+  args >> token;
+  if (token == "auto") {
+    const int cat =
+        state.db->categories[static_cast<std::size_t>(state.query_id)];
+    const int theme =
+        state.db->themes[static_cast<std::size_t>(state.query_id)];
+    marked = state.oracle->Judge(state.result, cat, theme);
+  } else {
+    do {
+      const std::size_t colon = token.find(':');
+      qcluster::core::RelevantItem item;
+      item.id = std::stoi(token.substr(0, colon));
+      item.score = colon == std::string::npos
+                       ? 1.0
+                       : std::stod(token.substr(colon + 1));
+      marked.push_back(item);
+    } while (args >> token);
+  }
+  if (marked.empty()) {
+    std::printf("no relevant images to mark; result unchanged\n");
+    return;
+  }
+  state.result = state.method->Feedback(marked);
+  std::printf("feedback with %d relevant images -> %d results\n",
+              static_cast<int>(marked.size()),
+              static_cast<int>(state.result.size()));
+}
+
+void CmdShow(CliState& state, std::istringstream& args) {
+  if (!RequireDb(state)) return;
+  int n = 10;
+  args >> n;
+  const int limit = std::min<int>(n, static_cast<int>(state.result.size()));
+  std::printf("%-6s %-8s %-10s %-10s\n", "rank", "id", "category", "distance");
+  for (int i = 0; i < limit; ++i) {
+    const auto& r = state.result[static_cast<std::size_t>(i)];
+    std::printf("%-6d %-8d %-10d %-10.4f\n", i + 1, r.id,
+                state.db->categories[static_cast<std::size_t>(r.id)],
+                r.distance);
+  }
+}
+
+void CmdClusters(CliState& state) {
+  if (!RequireDb(state)) return;
+  auto* engine = state.AsQcluster();
+  if (engine == nullptr) {
+    std::printf("clusters are only available for the qcluster method\n");
+    return;
+  }
+  std::printf("%d clusters:\n",
+              static_cast<int>(engine->clusters().size()));
+  for (const auto& c : engine->clusters()) {
+    std::printf("  n=%-3d weight=%-6.1f centroid=(", c.size(), c.weight());
+    for (int d = 0; d < c.dim(); ++d) {
+      std::printf("%s%.3f", d > 0 ? ", " : "",
+                  c.centroid()[static_cast<std::size_t>(d)]);
+    }
+    std::printf(")\n");
+  }
+}
+
+void CmdMetrics(CliState& state) {
+  if (!RequireDb(state) || state.query_id < 0) return;
+  const int cat =
+      state.db->categories[static_cast<std::size_t>(state.query_id)];
+  auto relevant = [&](int id) { return state.oracle->IsRelevant(id, cat); };
+  const int total = state.oracle->CategorySize(cat);
+  std::printf("precision@%d = %.4f, recall@%d = %.4f (category %d, %d "
+              "members)\n",
+              state.k,
+              qcluster::eval::PrecisionAt(state.result, state.k, relevant),
+              state.k,
+              qcluster::eval::RecallAt(state.result, state.k, total, relevant),
+              cat, total);
+}
+
+void CmdHelp() {
+  std::printf(
+      "commands:\n"
+      "  build <categories> <images_per_category> [color|texture]\n"
+      "  save <path> | load <path>\n"
+      "  method <qcluster|qpm|qex|falcon|mindreader>\n"
+      "  query <image_id>\n"
+      "  mark auto | mark <id>:<score> ...\n"
+      "  show [n] | clusters | metrics | help | quit\n");
+}
+
+/// Returns false when the session should end.
+bool Execute(CliState& state, const std::string& line) {
+  std::istringstream args(line);
+  std::string command;
+  if (!(args >> command)) return true;
+  if (command == "quit" || command == "exit") return false;
+  if (command == "help") {
+    CmdHelp();
+  } else if (command == "build") {
+    CmdBuild(state, args);
+  } else if (command == "save") {
+    CmdSave(state, args);
+  } else if (command == "load") {
+    CmdLoad(state, args);
+  } else if (command == "method") {
+    std::string name;
+    args >> name;
+    if (name != "qcluster" && name != "qpm" && name != "qex" &&
+        name != "falcon" && name != "mindreader") {
+      std::printf("error: unknown method '%s'\n", name.c_str());
+    } else {
+      state.method_name = name;
+      MakeMethod(state);
+      state.result.clear();
+      state.query_id = -1;
+      std::printf("method = %s\n", name.c_str());
+    }
+  } else if (command == "query") {
+    CmdQuery(state, args);
+  } else if (command == "mark") {
+    CmdMark(state, args);
+  } else if (command == "show") {
+    CmdShow(state, args);
+  } else if (command == "clusters") {
+    CmdClusters(state);
+  } else if (command == "metrics") {
+    CmdMetrics(state);
+  } else {
+    std::printf("error: unknown command '%s' (try `help`)\n",
+                command.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliState state;
+  if (argc > 1) {
+    // Arguments joined, ';'-separated commands.
+    std::string script;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) script += ' ';
+      script += argv[i];
+    }
+    std::istringstream lines(script);
+    std::string line;
+    while (std::getline(lines, line, ';')) {
+      if (!Execute(state, line)) return 0;
+    }
+    return 0;
+  }
+  std::string line;
+  std::printf("qcluster CLI — `help` for commands\n");
+  while (std::getline(std::cin, line)) {
+    if (!Execute(state, line)) break;
+  }
+  return 0;
+}

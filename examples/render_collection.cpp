@@ -1,0 +1,80 @@
+// Renders sample images from the synthetic collection to PPM files so the
+// Corel-substitute imagery can be inspected with any viewer, and prints the
+// per-category style summary (scene kind, substyle count) plus the feature
+// separation statistics that make the retrieval experiments meaningful.
+//
+//   ./build/examples/render_collection [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "dataset/feature_database.h"
+#include "dataset/image_collection.h"
+#include "image/ppm_io.h"
+#include "linalg/vector.h"
+
+using qcluster::dataset::FeatureDatabase;
+using qcluster::dataset::FeatureType;
+using qcluster::dataset::ImageCollection;
+using qcluster::dataset::ImageCollectionOptions;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  ImageCollectionOptions opt;
+  opt.num_categories = 8;
+  opt.images_per_category = 25;
+  opt.width = 96;  // Larger rasters for comfortable viewing.
+  opt.height = 96;
+  const ImageCollection collection(opt);
+
+  std::printf("rendering 3 samples from each of %d categories to %s\n\n",
+              opt.num_categories, out_dir.c_str());
+  for (int cat = 0; cat < opt.num_categories; ++cat) {
+    for (int sample = 0; sample < 3; ++sample) {
+      const int id = cat * opt.images_per_category + sample;
+      char path[512];
+      std::snprintf(path, sizeof(path), "%s/category%02d_sample%d.ppm",
+                    out_dir.c_str(), cat, sample);
+      const qcluster::Status status =
+          qcluster::image::WritePpm(collection.Render(id), path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "failed to write %s: %s\n", path,
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path);
+    }
+  }
+
+  // Quantify how well the color feature separates categories: the mean
+  // within-category vs across-category distance in reduced feature space.
+  const FeatureDatabase db =
+      FeatureDatabase::Build(collection, FeatureType::kColorMoments);
+  double within = 0.0, across = 0.0;
+  long long nw = 0, na = 0;
+  for (int i = 0; i < db.size(); ++i) {
+    for (int j = i + 1; j < db.size(); ++j) {
+      const double d = qcluster::linalg::Distance(
+          db.features()[static_cast<std::size_t>(i)],
+          db.features()[static_cast<std::size_t>(j)]);
+      if (db.categories()[static_cast<std::size_t>(i)] ==
+          db.categories()[static_cast<std::size_t>(j)]) {
+        within += d;
+        ++nw;
+      } else {
+        across += d;
+        ++na;
+      }
+    }
+  }
+  std::printf("\ncolor feature space (3-d PCA of 9 HSV moments):\n");
+  std::printf("  mean within-category distance: %.3f\n", within / nw);
+  std::printf("  mean across-category distance: %.3f\n", across / na);
+  std::printf("  separation ratio:              %.2f\n",
+              (across / na) / (within / nw));
+  std::printf("\nView the .ppm files with any image viewer; same-category\n"
+              "samples share a palette but mix 2-3 background modes (the\n"
+              "multi-modal structure Qcluster's disjunctive queries target).\n");
+  return 0;
+}

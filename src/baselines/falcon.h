@@ -1,0 +1,75 @@
+#ifndef QCLUSTER_BASELINES_FALCON_H_
+#define QCLUSTER_BASELINES_FALCON_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/retrieval_method.h"
+#include "index/knn.h"
+
+namespace qcluster::baselines {
+
+/// Options for the FALCON baseline.
+struct FalconOptions {
+  int k = 100;
+  /// The aggregation exponent α of the FALCON aggregate dissimilarity;
+  /// negative values mimic a fuzzy OR. The FALCON paper recommends and
+  /// mostly uses α = −5.
+  double alpha = -5.0;
+};
+
+/// FALCON's aggregate dissimilarity over the "good set" G [20]:
+///   D_α(G, x) = ( (1/|G|) Σ_i d(g_i, x)^α )^{1/α},  α < 0,
+/// with Euclidean base distance and *every* relevant point kept as a query
+/// point (the design this paper contrasts with its cluster representatives:
+/// Sec. 2, "this model assumes that all relevant points are query points").
+class FalconDistance final : public index::DistanceFunction {
+ public:
+  FalconDistance(std::vector<linalg::Vector> good_set, double alpha);
+
+  int dim() const override { return dim_; }
+  double Distance(const linalg::Vector& x) const override;
+  double MinDistance(const index::Rect& rect) const override;
+
+ private:
+  double Aggregate(const std::vector<double>& distances) const;
+
+  int dim_;
+  std::vector<linalg::Vector> good_set_;
+  double alpha_;
+};
+
+/// The FALCON feedback loop: the good set is the union of all relevant
+/// images marked so far; each round queries with the aggregate
+/// dissimilarity. Used in the execution-cost comparison (Fig. 7).
+class Falcon final : public core::RetrievalMethod {
+ public:
+  Falcon(const std::vector<linalg::Vector>* database,
+         const index::KnnIndex* knn, const FalconOptions& options);
+
+  std::string name() const override { return "falcon"; }
+  std::vector<index::Neighbor> InitialQuery(
+      const linalg::Vector& query) override;
+  std::vector<index::Neighbor> Feedback(
+      const std::vector<core::RelevantItem>& marked) override;
+  void Reset() override;
+  const index::SearchStats& last_search_stats() const override {
+    return last_stats_;
+  }
+
+  /// Current good set size.
+  int good_set_size() const { return static_cast<int>(good_set_.size()); }
+
+ private:
+  const std::vector<linalg::Vector>* database_;
+  const index::KnnIndex* knn_;
+  FalconOptions options_;
+
+  std::vector<linalg::Vector> good_set_;
+  std::unordered_set<int> seen_ids_;
+  index::SearchStats last_stats_;
+};
+
+}  // namespace qcluster::baselines
+
+#endif  // QCLUSTER_BASELINES_FALCON_H_

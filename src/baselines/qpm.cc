@@ -1,0 +1,122 @@
+#include "baselines/qpm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qcluster::baselines {
+
+using linalg::Vector;
+
+QueryPointMovement::QueryPointMovement(const std::vector<Vector>* database,
+                                       const index::KnnIndex* knn,
+                                       const QpmOptions& options)
+    : database_(database), knn_(knn), options_(options) {
+  QCLUSTER_CHECK(database != nullptr && knn != nullptr);
+  QCLUSTER_CHECK(options.k > 0);
+  QCLUSTER_CHECK(options.min_stddev > 0.0);
+}
+
+std::vector<index::Neighbor> QueryPointMovement::InitialQuery(
+    const Vector& query) {
+  Reset();
+  query_point_ = query;
+  weights_.assign(query.size(), 1.0);
+  return RunQuery();
+}
+
+std::vector<index::Neighbor> QueryPointMovement::Feedback(
+    const std::vector<core::RelevantItem>& marked) {
+  return FeedbackWithNegatives(marked, {});
+}
+
+std::vector<index::Neighbor> QueryPointMovement::FeedbackWithNegatives(
+    const std::vector<core::RelevantItem>& marked,
+    const std::vector<int>& non_relevant_ids) {
+  for (const core::RelevantItem& item : marked) {
+    QCLUSTER_CHECK(0 <= item.id &&
+                   item.id < static_cast<int>(database_->size()));
+    QCLUSTER_CHECK(item.score > 0.0);
+    if (!seen_ids_.insert(item.id).second) continue;
+    relevant_points_.push_back((*database_)[static_cast<std::size_t>(item.id)]);
+    relevant_scores_.push_back(item.score);
+  }
+  QCLUSTER_CHECK_MSG(!relevant_points_.empty(),
+                     "QPM feedback requires at least one relevant image");
+
+  const std::size_t dim = relevant_points_.front().size();
+  // Rocchio [14]: blend the current query point toward the score-weighted
+  // centroid of the relevant set. With the classic coefficients the query
+  // stays anchored near the original example, as in MARS [15].
+  Vector centroid(dim, 0.0);
+  double total_score = 0.0;
+  for (std::size_t i = 0; i < relevant_points_.size(); ++i) {
+    linalg::Axpy(relevant_scores_[i], relevant_points_[i], centroid);
+    total_score += relevant_scores_[i];
+  }
+  centroid = linalg::Scale(centroid, 1.0 / total_score);
+
+  // Negative centroid (Rocchio's γ term), when the caller supplied
+  // non-relevant images.
+  Vector negative(dim, 0.0);
+  double gamma = 0.0;
+  if (!non_relevant_ids.empty() && options_.rocchio_gamma > 0.0) {
+    for (int id : non_relevant_ids) {
+      QCLUSTER_CHECK(0 <= id && id < static_cast<int>(database_->size()));
+      linalg::Axpy(1.0, (*database_)[static_cast<std::size_t>(id)], negative);
+    }
+    negative = linalg::Scale(
+        negative, 1.0 / static_cast<double>(non_relevant_ids.size()));
+    gamma = options_.rocchio_gamma;
+  }
+
+  const double blend_total =
+      options_.rocchio_alpha + options_.rocchio_beta - gamma;
+  QCLUSTER_CHECK(blend_total > 0.0);
+  Vector blended =
+      linalg::Add(linalg::Scale(query_point_, options_.rocchio_alpha),
+                  linalg::Scale(centroid, options_.rocchio_beta));
+  linalg::Axpy(-gamma, negative, blended);
+  query_point_ = linalg::Scale(blended, 1.0 / blend_total);
+
+  // Re-weighting: weight_j = 1 / sigma_j of the relevant values along each
+  // dimension, then normalized so the weights sum to the dimensionality
+  // (pure scale has no effect on ranking; normalization keeps values
+  // interpretable).
+  Vector variance(dim, 0.0);
+  for (std::size_t i = 0; i < relevant_points_.size(); ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double d = relevant_points_[i][j] - centroid[j];
+      variance[j] += relevant_scores_[i] * d * d;
+    }
+  }
+  weights_.assign(dim, 1.0);
+  double weight_sum = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double sigma =
+        std::max(std::sqrt(variance[j] / total_score), options_.min_stddev);
+    weights_[j] = 1.0 / sigma;
+    weight_sum += weights_[j];
+  }
+  if (weight_sum > 0.0) {
+    for (double& w : weights_) w *= static_cast<double>(dim) / weight_sum;
+  }
+  return RunQuery();
+}
+
+void QueryPointMovement::Reset() {
+  relevant_points_.clear();
+  relevant_scores_.clear();
+  seen_ids_.clear();
+  query_point_.clear();
+  weights_.clear();
+  last_stats_ = index::SearchStats{};
+}
+
+std::vector<index::Neighbor> QueryPointMovement::RunQuery() {
+  last_stats_ = index::SearchStats{};
+  const index::WeightedEuclideanDistance dist(query_point_, weights_);
+  return knn_->Search(dist, options_.k, &last_stats_);
+}
+
+}  // namespace qcluster::baselines

@@ -1,0 +1,53 @@
+#ifndef QCLUSTER_COMMON_CHECK_H_
+#define QCLUSTER_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace qcluster::internal {
+
+/// Aborts the process after printing the failed condition and location.
+[[noreturn]] inline void CheckFailed(const char* condition, const char* file,
+                                     int line, const char* message) {
+  std::fprintf(stderr, "QCLUSTER_CHECK failed: %s at %s:%d%s%s\n", condition,
+               file, line, message[0] ? " — " : "", message);
+  std::abort();
+}
+
+}  // namespace qcluster::internal
+
+/// Aborts on contract violations. Enabled in all build modes: the library
+/// deals with numerical code where silently continuing after a violated
+/// precondition produces garbage results that are far harder to debug than a
+/// crash with a location.
+#define QCLUSTER_CHECK(condition)                                      \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::qcluster::internal::CheckFailed(#condition, __FILE__, __LINE__, \
+                                        "");                           \
+    }                                                                  \
+  } while (false)
+
+/// Like QCLUSTER_CHECK but with an explanatory message literal.
+#define QCLUSTER_CHECK_MSG(condition, message)                          \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::qcluster::internal::CheckFailed(#condition, __FILE__, __LINE__, \
+                                        (message));                    \
+    }                                                                   \
+  } while (false)
+
+/// Checks that a Status-returning expression succeeded.
+#define QCLUSTER_CHECK_OK(expr)                                          \
+  do {                                                                   \
+    ::qcluster::Status qcluster_check_status_ = (expr);                  \
+    if (!qcluster_check_status_.ok()) {                                  \
+      ::qcluster::internal::CheckFailed(                                 \
+          #expr, __FILE__, __LINE__,                                     \
+          qcluster_check_status_.ToString().c_str());                    \
+    }                                                                    \
+  } while (false)
+
+#endif  // QCLUSTER_COMMON_CHECK_H_

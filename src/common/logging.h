@@ -1,0 +1,61 @@
+#ifndef QCLUSTER_COMMON_LOGGING_H_
+#define QCLUSTER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace qcluster {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted to stderr. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits a line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// No-op sink used when the message is below the configured level.
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace qcluster
+
+/// Usage: QCLUSTER_LOG(kInfo) << "built index with " << n << " entries";
+/// Arguments are not evaluated when the severity is below the configured
+/// minimum level.
+#define QCLUSTER_LOG(severity)                                        \
+  if (::qcluster::LogLevel::severity < ::qcluster::GetLogLevel()) {   \
+  } else /* NOLINT */                                                 \
+    ::qcluster::internal::LogMessage(::qcluster::LogLevel::severity,  \
+                                     __FILE__, __LINE__)
+
+#endif  // QCLUSTER_COMMON_LOGGING_H_

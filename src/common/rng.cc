@@ -1,0 +1,107 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qcluster {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::NextUint64() {
+  // xoshiro256++ step.
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  QCLUSTER_CHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t n) {
+  QCLUSTER_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const std::uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Marsaglia polar method: produces two independent variates per round.
+  double u, v, s;
+  do {
+    u = 2.0 * Uniform() - 1.0;
+    v = 2.0 * Uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  QCLUSTER_CHECK(stddev >= 0.0);
+  return mean + stddev * Gaussian();
+}
+
+std::vector<double> Rng::GaussianVector(int n) {
+  QCLUSTER_CHECK(n >= 0);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (double& x : out) x = Gaussian();
+  return out;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  QCLUSTER_CHECK(0 <= k && k <= n);
+  // Floyd's algorithm would avoid the O(n) init, but n is small in all of
+  // our uses; a partial Fisher-Yates is simpler and still exact.
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        i + static_cast<int>(UniformInt(static_cast<std::uint64_t>(n - i))));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+}  // namespace qcluster

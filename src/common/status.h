@@ -1,0 +1,138 @@
+#ifndef QCLUSTER_COMMON_STATUS_H_
+#define QCLUSTER_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace qcluster {
+
+/// Error categories used across the library. Mirrors the subset of
+/// canonical codes the library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kSingularMatrix,
+  kNotConverged,
+};
+
+/// Returns a human readable name for a status code ("OK", "InvalidArgument"...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result used by all fallible operations in
+/// the library (matrix inversion, quantile evaluation, query validation, ...).
+///
+/// The library does not use exceptions; functions that can fail return a
+/// `Status` or a `Result<T>`. Programming errors (contract violations) abort
+/// via the QCLUSTER_CHECK macros instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status SingularMatrix(std::string msg) {
+    return Status(StatusCode::kSingularMatrix, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "<CodeName>: <message>" or "OK".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. Access to the value when holding an error is a
+/// checked contract violation.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value; a Result is conceptually "a T,
+  /// unless something went wrong".
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status. The status must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  /// Returns the contained value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Aborts the process reporting an attempted access to an errored Result.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!value_.has_value()) internal::DieOnBadResultAccess(status_);
+}
+
+/// Propagates an error status from an expression returning `Status`.
+#define QCLUSTER_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::qcluster::Status qcluster_status_tmp_ = (expr);   \
+    if (!qcluster_status_tmp_.ok()) return qcluster_status_tmp_; \
+  } while (false)
+
+}  // namespace qcluster
+
+#endif  // QCLUSTER_COMMON_STATUS_H_

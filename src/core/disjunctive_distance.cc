@@ -1,0 +1,129 @@
+#include "core/disjunctive_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "linalg/eigen_sym.h"
+
+namespace qcluster::core {
+
+using linalg::Vector;
+
+DisjunctiveDistance::DisjunctiveDistance(const std::vector<Cluster>& clusters,
+                                         stats::CovarianceScheme scheme,
+                                         double min_variance)
+    : DisjunctiveDistance(clusters, scheme, min_variance, 0.0) {}
+
+DisjunctiveDistance::DisjunctiveDistance(const std::vector<Cluster>& clusters,
+                                         stats::CovarianceScheme scheme,
+                                         double min_variance, double shrinkage)
+    : dim_(0), total_weight_(0.0) {
+  QCLUSTER_CHECK_MSG(!clusters.empty(), "need at least one cluster");
+  QCLUSTER_CHECK(0.0 <= shrinkage && shrinkage < 1.0);
+  dim_ = clusters.front().dim();
+
+  // Pooled covariance for the shrinkage target (Eq. 7 across clusters).
+  linalg::Matrix pooled(dim_, dim_, 0.0);
+  if (shrinkage > 0.0) {
+    std::vector<const stats::WeightedStats*> groups;
+    groups.reserve(clusters.size());
+    for (const Cluster& c : clusters) groups.push_back(&c.stats());
+    pooled = stats::PooledCovariance(groups);
+  }
+
+  for (const Cluster& c : clusters) {
+    QCLUSTER_CHECK(c.dim() == dim_);
+    QCLUSTER_CHECK(c.weight() > 0.0);
+    centroids_.push_back(c.centroid());
+    weights_.push_back(c.weight());
+    if (shrinkage > 0.0) {
+      linalg::Matrix blended = c.Covariance().Scale(1.0 - shrinkage)
+                                   .Add(pooled.Scale(shrinkage));
+      for (int d = 0; d < dim_; ++d) {
+        if (blended(d, d) < min_variance) blended(d, d) = min_variance;
+      }
+      inverse_covs_.push_back(stats::InvertCovariance(blended, scheme));
+    } else {
+      inverse_covs_.push_back(c.InverseCovariance(scheme, min_variance));
+    }
+    total_weight_ += c.weight();
+
+    // Tight rectangle bounds: exact per-dimension weights for diagonal
+    // metrics (the adopted scheme), spectral fallback otherwise.
+    const linalg::Matrix& inv = inverse_covs_.back();
+    bool diagonal = true;
+    for (int r = 0; r < dim_ && diagonal; ++r) {
+      for (int col = 0; col < dim_; ++col) {
+        if (r != col && inv(r, col) != 0.0) {
+          diagonal = false;
+          break;
+        }
+      }
+    }
+    if (diagonal) {
+      diagonal_weights_.push_back(inv.Diag());
+      min_eigenvalues_.push_back(0.0);
+      continue;
+    }
+    diagonal_weights_.emplace_back();
+    double min_eig = 0.0;
+    Result<linalg::SymmetricEigen> eigen = linalg::EigenSymmetric(inv);
+    if (eigen.ok() && !eigen.value().values.empty()) {
+      min_eig = std::max(eigen.value().values.back(), 0.0);
+    }
+    min_eigenvalues_.push_back(min_eig);
+  }
+}
+
+double DisjunctiveDistance::Distance(const Vector& x) const {
+  QCLUSTER_CHECK(static_cast<int>(x.size()) == dim_);
+  std::vector<double> d2(centroids_.size());
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const Vector diff = linalg::Sub(x, centroids_[i]);
+    d2[i] = linalg::QuadraticForm(diff, inverse_covs_[i], diff);
+  }
+  return Aggregate(d2);
+}
+
+double DisjunctiveDistance::MinDistance(const index::Rect& rect) const {
+  std::vector<double> d2(centroids_.size());
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    if (!diagonal_weights_[i].empty()) {
+      // Exact lower bound for a diagonal quadratic form: per-dimension
+      // clamped distance, weighted.
+      double sum = 0.0;
+      for (int d = 0; d < dim_; ++d) {
+        const std::size_t sd = static_cast<std::size_t>(d);
+        double diff = 0.0;
+        if (centroids_[i][sd] < rect.lo[sd]) {
+          diff = rect.lo[sd] - centroids_[i][sd];
+        } else if (centroids_[i][sd] > rect.hi[sd]) {
+          diff = centroids_[i][sd] - rect.hi[sd];
+        }
+        sum += diagonal_weights_[i][sd] * diff * diff;
+      }
+      d2[i] = sum;
+    } else {
+      d2[i] =
+          min_eigenvalues_[i] * rect.SquaredEuclideanDistance(centroids_[i]);
+    }
+  }
+  return Aggregate(d2);
+}
+
+double DisjunctiveDistance::Aggregate(
+    const std::vector<double>& per_cluster_d2) const {
+  // Eq. 5. A zero per-cluster distance means the point sits on a
+  // representative: the fuzzy OR yields 0.
+  double denom = 0.0;
+  for (std::size_t i = 0; i < per_cluster_d2.size(); ++i) {
+    const double d2 = per_cluster_d2[i];
+    if (d2 <= 0.0) return 0.0;
+    denom += weights_[i] / d2;
+  }
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return total_weight_ / denom;
+}
+
+}  // namespace qcluster::core

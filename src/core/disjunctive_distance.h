@@ -1,0 +1,65 @@
+#ifndef QCLUSTER_CORE_DISJUNCTIVE_DISTANCE_H_
+#define QCLUSTER_CORE_DISJUNCTIVE_DISTANCE_H_
+
+#include <vector>
+
+#include "core/cluster.h"
+#include "index/distance.h"
+
+namespace qcluster::core {
+
+/// The aggregate dissimilarity of Eq. 5, the paper's disjunctive multipoint
+/// query metric:
+///
+///   d²(Q, x) = Σ_i m_i  /  Σ_i [ m_i / d²_i(x) ]
+///
+/// where d²_i(x) = (x − x̄_i)' S_i^{-1} (x − x̄_i) is the per-cluster
+/// generalized distance of Eq. 1. This is the α = −2 weighted power mean of
+/// the per-cluster distances — a fuzzy OR: proximity to *any* representative
+/// dominates, so separated contours (Fig. 1(c), Fig. 5) are retrieved
+/// together.
+///
+/// A point exactly at a centroid has distance 0. Rectangle pruning uses the
+/// same harmonic combination of per-cluster lower bounds, which is a valid
+/// lower bound because the aggregate is monotone in each d²_i.
+class DisjunctiveDistance final : public index::DistanceFunction {
+ public:
+  /// Captures centroids, weights, and inverse covariances of `clusters`
+  /// under `scheme`. The distance object is self-contained: later changes
+  /// to the clusters do not affect it.
+  DisjunctiveDistance(const std::vector<Cluster>& clusters,
+                      stats::CovarianceScheme scheme, double min_variance);
+
+  /// Like above, with RDA-style covariance shrinkage: each cluster metric
+  /// uses S_i' = (1 − λ) S_i + λ S_pooled, where S_pooled is the pooled
+  /// covariance across all clusters (Eq. 7). Shrinkage stabilizes the
+  /// ellipsoids of small clusters (few marked images) whose sample
+  /// covariances are unreliable. λ = 0 reproduces the plain constructor.
+  DisjunctiveDistance(const std::vector<Cluster>& clusters,
+                      stats::CovarianceScheme scheme, double min_variance,
+                      double shrinkage);
+
+  int dim() const override { return dim_; }
+  double Distance(const linalg::Vector& x) const override;
+  double MinDistance(const index::Rect& rect) const override;
+
+  /// Number of query points (clusters) in the aggregate.
+  int cluster_count() const { return static_cast<int>(centroids_.size()); }
+
+ private:
+  double Aggregate(const std::vector<double>& per_cluster_d2) const;
+
+  int dim_;
+  std::vector<linalg::Vector> centroids_;
+  std::vector<double> weights_;                  ///< m_i.
+  std::vector<linalg::Matrix> inverse_covs_;     ///< S_i^{-1}.
+  std::vector<double> min_eigenvalues_;          ///< λ_min(S_i^{-1}) for bounds.
+  /// Exact per-dimension bound weights when S_i^{-1} is diagonal (the
+  /// default scheme); empty vector for full matrices (λ_min fallback).
+  std::vector<linalg::Vector> diagonal_weights_;
+  double total_weight_;
+};
+
+}  // namespace qcluster::core
+
+#endif  // QCLUSTER_CORE_DISJUNCTIVE_DISTANCE_H_

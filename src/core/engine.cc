@@ -1,0 +1,121 @@
+#include "core/engine.h"
+
+#include "common/check.h"
+
+namespace qcluster::core {
+
+using linalg::Vector;
+
+QclusterEngine::QclusterEngine(const std::vector<Vector>* database,
+                               const index::KnnIndex* knn,
+                               const QclusterOptions& options)
+    : database_(database),
+      knn_(knn),
+      br_tree_(dynamic_cast<const index::BrTree*>(knn)),
+      options_(options) {
+  QCLUSTER_CHECK(database != nullptr);
+  QCLUSTER_CHECK(knn != nullptr);
+  QCLUSTER_CHECK(options.k > 0);
+  QCLUSTER_CHECK(0.0 < options.alpha && options.alpha < 1.0);
+  QCLUSTER_CHECK(options.max_clusters >= 1);
+  QCLUSTER_CHECK(options.initial_clusters >= 1);
+}
+
+std::vector<index::Neighbor> QclusterEngine::InitialQuery(
+    const Vector& query) {
+  Reset();
+  const index::EuclideanDistance dist(query);
+  return RunQuery(dist);
+}
+
+std::vector<index::Neighbor> QclusterEngine::Feedback(
+    const std::vector<RelevantItem>& marked) {
+  // Collect the genuinely new relevant points.
+  std::vector<Vector> points;
+  std::vector<double> scores;
+  for (const RelevantItem& item : marked) {
+    QCLUSTER_CHECK(0 <= item.id &&
+                   item.id < static_cast<int>(database_->size()));
+    QCLUSTER_CHECK(item.score > 0.0);
+    if (!seen_ids_.insert(item.id).second) continue;
+    points.push_back((*database_)[static_cast<std::size_t>(item.id)]);
+    scores.push_back(item.score);
+  }
+  QCLUSTER_CHECK_MSG(!clusters_.empty() || !points.empty(),
+                     "feedback requires at least one relevant image");
+
+  if (clusters_.empty()) {
+    // First round: hierarchical clustering of the relevant set
+    // (Algorithm 1 step 1).
+    HierarchicalOptions h;
+    h.target_clusters = options_.initial_clusters;
+    clusters_ = HierarchicalCluster(points, scores, h);
+  } else if (!points.empty()) {
+    // Later rounds: adaptive classification (Algorithm 2), under the floor
+    // established by the previous round's clusters.
+    ClassifierOptions c;
+    c.alpha = options_.alpha;
+    c.scheme = options_.scheme;
+    c.min_variance = floor_ > 0.0 ? floor_ : options_.min_variance;
+    c.use_individual_covariances = options_.use_individual_covariances;
+    ClassifyBatch(clusters_, points, scores, c);
+  }
+  UpdateVarianceFloor();
+
+  // Cluster merging (Algorithm 3).
+  MergeOptions m;
+  m.alpha = options_.alpha;
+  m.max_clusters = options_.max_clusters;
+  m.scheme = options_.scheme;
+  m.min_variance = floor_;
+  MergeClusters(clusters_, m);
+  UpdateVarianceFloor();
+
+  ++iteration_;
+  return RunQuery(CurrentDistance());
+}
+
+void QclusterEngine::UpdateVarianceFloor() {
+  floor_ = options_.min_variance;
+  if (options_.adaptive_floor_fraction <= 0.0 || clusters_.empty()) return;
+  // Mean diagonal of the pooled within-cluster covariance (Eq. 7 without
+  // the per-cluster floor): the scale of "typical" relevant-image spread
+  // that small clusters shrink toward.
+  std::vector<const stats::WeightedStats*> groups;
+  groups.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) groups.push_back(&c.stats());
+  const linalg::Matrix pooled = stats::PooledCovariance(groups);
+  double mean_diag = 0.0;
+  for (int d = 0; d < pooled.rows(); ++d) mean_diag += pooled(d, d);
+  mean_diag /= pooled.rows();
+  const double adaptive = options_.adaptive_floor_fraction * mean_diag;
+  if (adaptive > floor_) floor_ = adaptive;
+}
+
+DisjunctiveDistance QclusterEngine::CurrentDistance() const {
+  QCLUSTER_CHECK_MSG(!clusters_.empty(),
+                     "no clusters yet; run Feedback first");
+  return DisjunctiveDistance(clusters_, options_.scheme,
+                             floor_ > 0.0 ? floor_ : options_.min_variance,
+                             options_.covariance_shrinkage);
+}
+
+void QclusterEngine::Reset() {
+  clusters_.clear();
+  seen_ids_.clear();
+  cache_.Clear();
+  last_stats_ = index::SearchStats{};
+  iteration_ = 0;
+  floor_ = 0.0;
+}
+
+std::vector<index::Neighbor> QclusterEngine::RunQuery(
+    const index::DistanceFunction& dist) {
+  last_stats_ = index::SearchStats{};
+  if (br_tree_ != nullptr && options_.use_query_cache) {
+    return br_tree_->SearchCached(dist, options_.k, cache_, &last_stats_);
+  }
+  return knn_->Search(dist, options_.k, &last_stats_);
+}
+
+}  // namespace qcluster::core

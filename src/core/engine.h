@@ -1,0 +1,130 @@
+#ifndef QCLUSTER_CORE_ENGINE_H_
+#define QCLUSTER_CORE_ENGINE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/cluster.h"
+#include "core/disjunctive_distance.h"
+#include "core/hierarchical.h"
+#include "core/merging.h"
+#include "core/retrieval_method.h"
+#include "index/br_tree.h"
+#include "index/knn.h"
+
+namespace qcluster::core {
+
+/// All tunables of the Qcluster retrieval loop.
+struct QclusterOptions {
+  /// Result size k of every k-NN round (the paper uses k = 100).
+  int k = 100;
+  /// Significance level α shared by the effective radius (Lemma 1) and the
+  /// merge test (Eq. 16).
+  double alpha = 0.05;
+  /// Cluster-count cap handed to the merging stage ("a given size").
+  int max_clusters = 5;
+  /// Target cluster count of the initial hierarchical clustering.
+  int initial_clusters = 3;
+  /// Covariance scheme for every quadratic form (diagonal by default, the
+  /// configuration the paper adopts after Fig. 6).
+  stats::CovarianceScheme scheme = stats::CovarianceScheme::kDiagonal;
+  /// Absolute variance floor protecting degenerate covariances.
+  double min_variance = 1e-4;
+  /// Shrinkage fraction for the adaptive variance floor: each cluster's
+  /// per-dimension variance is floored at this fraction of the mean pooled
+  /// variance across all current clusters. Small clusters (few marked
+  /// images) otherwise produce near-zero variances whose over-tight
+  /// ellipsoids rank background between the modes above unmarked category
+  /// members. 0 disables the adaptation.
+  double adaptive_floor_fraction = 0.1;
+  /// Use per-cluster covariances in the classification stage (QDA, Eq. 8's
+  /// special case) instead of the paper's pooled simplification (Eq. 10).
+  bool use_individual_covariances = false;
+  /// RDA-style covariance shrinkage λ applied to the disjunctive metric:
+  /// S_i' = (1 − λ) S_i + λ S_pooled. An extension beyond the paper that
+  /// regularizes small-cluster ellipsoids; 0 (default) reproduces the
+  /// paper's metric exactly. See bench_ablation_shrinkage.
+  double covariance_shrinkage = 0.0;
+  /// Reuse index information across feedback iterations (the multipoint
+  /// refinement optimization measured in Fig. 7). Effective only when the
+  /// engine's index is a BrTree.
+  bool use_query_cache = true;
+};
+
+/// The Qcluster retrieval engine — Algorithm 1.
+///
+/// Drives the full relevance feedback loop: an initial query-by-example
+/// k-NN round, then per-iteration adaptive classification (Algorithm 2),
+/// cluster merging (Algorithm 3), and disjunctive multipoint re-query
+/// (Eq. 5). Usage:
+///
+///   QclusterEngine engine(&features, &tree, options);
+///   auto result = engine.InitialQuery(features[q]);
+///   for (int it = 0; it < 5; ++it) {
+///     std::vector<RelevantItem> marked = user_judgement(result);
+///     result = engine.Feedback(marked);
+///   }
+class QclusterEngine final : public RetrievalMethod {
+ public:
+  /// `database` and `knn` must outlive the engine. When `knn` is a BrTree
+  /// and options.use_query_cache is set, refined queries are warm-started
+  /// from the previous iteration's candidates.
+  QclusterEngine(const std::vector<linalg::Vector>* database,
+                 const index::KnnIndex* knn, const QclusterOptions& options);
+
+  std::string name() const override { return "qcluster"; }
+
+  /// Algorithm 1 step 1, first half: plain k-NN around the example point.
+  std::vector<index::Neighbor> InitialQuery(
+      const linalg::Vector& query) override;
+
+  /// One relevance feedback round: incorporates the newly marked relevant
+  /// images (previously seen ids are ignored — they are already inside the
+  /// clusters), reruns classification + merging, and answers the refined
+  /// disjunctive k-NN query. Requires at least one *total* relevant point
+  /// across all rounds so far.
+  std::vector<index::Neighbor> Feedback(
+      const std::vector<RelevantItem>& marked) override;
+
+  /// Current query clusters (empty before the first Feedback call).
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  /// 0 before feedback, then the number of completed feedback rounds.
+  int iteration() const { return iteration_; }
+
+  /// Cost counters of the most recent k-NN round.
+  const index::SearchStats& last_search_stats() const override {
+    return last_stats_;
+  }
+
+  /// The current disjunctive metric; valid once clusters exist.
+  DisjunctiveDistance CurrentDistance() const;
+
+  /// Resets all feedback state, keeping database/index/options.
+  void Reset() override;
+
+  /// The variance floor in effect for the current clusters (the adaptive
+  /// shrinkage floor, at least options.min_variance).
+  double effective_min_variance() const { return floor_; }
+
+ private:
+  std::vector<index::Neighbor> RunQuery(const index::DistanceFunction& dist);
+  void UpdateVarianceFloor();
+
+  const std::vector<linalg::Vector>* database_;
+  const index::KnnIndex* knn_;
+  const index::BrTree* br_tree_;  ///< Non-null when `knn_` is a BrTree.
+  QclusterOptions options_;
+
+  std::vector<Cluster> clusters_;
+  std::unordered_set<int> seen_ids_;
+  index::BrTree::QueryCache cache_;
+  index::SearchStats last_stats_;
+  int iteration_ = 0;
+  double floor_ = 0.0;
+};
+
+}  // namespace qcluster::core
+
+#endif  // QCLUSTER_CORE_ENGINE_H_

@@ -1,0 +1,78 @@
+#include "core/hierarchical.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qcluster::core {
+
+using linalg::Vector;
+
+namespace {
+
+double LinkageDistance(const Cluster& a, const Cluster& b, Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kCentroid:
+      return linalg::SquaredDistance(a.centroid(), b.centroid());
+    case Linkage::kSingle: {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Vector& pa : a.points()) {
+        for (const Vector& pb : b.points()) {
+          best = std::min(best, linalg::SquaredDistance(pa, pb));
+        }
+      }
+      return best;
+    }
+    case Linkage::kComplete: {
+      double worst = 0.0;
+      for (const Vector& pa : a.points()) {
+        for (const Vector& pb : b.points()) {
+          worst = std::max(worst, linalg::SquaredDistance(pa, pb));
+        }
+      }
+      return worst;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<Cluster> HierarchicalCluster(const std::vector<Vector>& points,
+                                         const std::vector<double>& scores,
+                                         const HierarchicalOptions& options) {
+  QCLUSTER_CHECK(points.size() == scores.size());
+  QCLUSTER_CHECK(options.target_clusters >= 1);
+
+  std::vector<Cluster> clusters;
+  clusters.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    clusters.push_back(Cluster::FromPoint(points[i], scores[i]));
+  }
+
+  while (static_cast<int>(clusters.size()) > options.target_clusters) {
+    // O(g²) closest-pair scan per merge; relevant sets are small (≤ k).
+    int best_i = -1;
+    int best_j = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double d =
+            LinkageDistance(clusters[i], clusters[j], options.linkage);
+        if (d < best_d) {
+          best_d = d;
+          best_i = static_cast<int>(i);
+          best_j = static_cast<int>(j);
+        }
+      }
+    }
+    if (best_d > options.max_merge_distance) break;
+    clusters[static_cast<std::size_t>(best_i)] =
+        Cluster::Merged(clusters[static_cast<std::size_t>(best_i)],
+                        clusters[static_cast<std::size_t>(best_j)]);
+    clusters.erase(clusters.begin() + best_j);
+  }
+  return clusters;
+}
+
+}  // namespace qcluster::core

@@ -1,0 +1,76 @@
+#ifndef QCLUSTER_CORE_MERGING_H_
+#define QCLUSTER_CORE_MERGING_H_
+
+#include <vector>
+
+#include "core/cluster.h"
+#include "stats/covariance_scheme.h"
+
+namespace qcluster::core {
+
+/// Parameters of the cluster-merging stage (Sec. 4.3, Algorithm 3).
+struct MergeOptions {
+  /// Significance level α of the Hotelling T² location test. Smaller α
+  /// raises the critical distance c², merging more aggressively.
+  double alpha = 0.05;
+  /// Target number of clusters ("a given size" in Algorithm 3). Merging
+  /// continues past statistical significance, with progressively relaxed α
+  /// (Algorithm 3 line 8, "increase critical distance c² using α"), until
+  /// the cluster count is at most this.
+  int max_clusters = 5;
+  /// Multiplicative α relaxation applied when the count still exceeds
+  /// max_clusters but every remaining pair rejects H0.
+  double alpha_relax = 0.1;
+  /// Lower bound on the relaxed α; below this, the closest pair (smallest
+  /// T²) merges unconditionally so the algorithm always terminates.
+  double min_alpha = 1e-9;
+  /// Covariance handling for S_pooled^{-1} in T² (Eq. 15).
+  stats::CovarianceScheme scheme = stats::CovarianceScheme::kDiagonal;
+  /// Variance floor for degenerate pooled covariances (pairs of singleton
+  /// clusters have zero scatter).
+  double min_variance = 1e-4;
+  /// Extension: verify the T² test's equal-covariance assumption (Sec. 4.3)
+  /// with Box's M before merging. A pair whose covariances differ
+  /// significantly is not merged even when the means are indistinguishable
+  /// (unless the max_clusters cap forces it). Applies only when both
+  /// clusters are large enough for the test.
+  bool check_covariance_homogeneity = false;
+  double homogeneity_alpha = 0.01;
+};
+
+/// Outcome summary of one merging pass.
+struct MergeReport {
+  int merges = 0;          ///< Number of merge operations performed.
+  double final_alpha = 0;  ///< α in effect when the pass stopped.
+  int forced_merges = 0;   ///< Merges forced by the max_clusters cap.
+};
+
+/// The pairwise decision quantity of Algorithm 3: T² (Eq. 14) and the
+/// critical distance c² (Eq. 16). When the pair is too small for the F
+/// distribution (m_i + m_j ≤ p + 1, inevitable for fresh singleton
+/// clusters), c² degrades to the asymptotic χ²_p(α) threshold so early
+/// iterations still behave sensibly.
+struct MergeCandidate {
+  int i = 0;
+  int j = 0;
+  double t2 = 0.0;
+  double c2 = 0.0;
+  /// Set when Box's M rejected covariance homogeneity for the pair.
+  bool heterogeneous = false;
+  bool mergeable() const { return !heterogeneous && t2 <= c2; }
+};
+
+/// Evaluates the merge test for a single pair at level `alpha`.
+MergeCandidate EvaluateMergePair(const std::vector<Cluster>& clusters, int i,
+                                 int j, double alpha,
+                                 const MergeOptions& options);
+
+/// Algorithm 3: repeatedly merges the pair with the smallest T² while the
+/// pair passes its T² ≤ c² test, relaxing α (and finally forcing) while the
+/// cluster count exceeds `max_clusters`. Mutates `clusters` in place.
+MergeReport MergeClusters(std::vector<Cluster>& clusters,
+                          const MergeOptions& options);
+
+}  // namespace qcluster::core
+
+#endif  // QCLUSTER_CORE_MERGING_H_

@@ -1,0 +1,42 @@
+#include "core/quality.h"
+
+#include "common/check.h"
+
+namespace qcluster::core {
+
+using linalg::Vector;
+
+LeaveOneOutReport LeaveOneOutError(const std::vector<Cluster>& clusters,
+                                   const ClassifierOptions& options) {
+  LeaveOneOutReport report;
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    const Cluster& cluster = clusters[ci];
+    for (std::size_t pi = 0; pi < cluster.points().size(); ++pi) {
+      ++report.total;
+      if (cluster.size() <= 1) continue;  // Removal empties the cluster.
+
+      // Rebuild the point's cluster without it; other clusters unchanged.
+      Cluster reduced(cluster.dim());
+      for (std::size_t pj = 0; pj < cluster.points().size(); ++pj) {
+        if (pj == pi) continue;
+        reduced.Add(cluster.points()[pj], cluster.scores()[pj]);
+      }
+      std::vector<Cluster> candidate_set;
+      candidate_set.reserve(clusters.size());
+      for (std::size_t cj = 0; cj < clusters.size(); ++cj) {
+        candidate_set.push_back(cj == ci ? reduced : clusters[cj]);
+      }
+
+      const std::vector<double> scores = ClassificationScores(
+          candidate_set, cluster.points()[pi], options);
+      std::size_t best = 0;
+      for (std::size_t s = 1; s < scores.size(); ++s) {
+        if (scores[s] > scores[best]) best = s;
+      }
+      if (best == ci) ++report.correct;
+    }
+  }
+  return report;
+}
+
+}  // namespace qcluster::core

@@ -1,0 +1,34 @@
+#ifndef QCLUSTER_CORE_QUALITY_H_
+#define QCLUSTER_CORE_QUALITY_H_
+
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/cluster.h"
+
+namespace qcluster::core {
+
+/// Result of the clustering-quality measurement of Sec. 4.5.
+struct LeaveOneOutReport {
+  int total = 0;    ///< N: points across all clusters.
+  int correct = 0;  ///< C: points re-classified into their own cluster.
+
+  /// The paper's error rate 1 − C/N (0 when there are no points).
+  double error_rate() const {
+    return total == 0 ? 0.0
+                      : 1.0 - static_cast<double>(correct) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Sec. 4.5 leave-one-out quality: every point is removed from its cluster,
+/// the Bayesian classification function (Eq. 10) is re-evaluated against
+/// the updated cluster set, and the point counts as correct when the argmax
+/// lands back on its own cluster. Points whose removal empties their
+/// cluster are counted as misclassified (their cluster cannot win).
+LeaveOneOutReport LeaveOneOutError(const std::vector<Cluster>& clusters,
+                                   const ClassifierOptions& options);
+
+}  // namespace qcluster::core
+
+#endif  // QCLUSTER_CORE_QUALITY_H_

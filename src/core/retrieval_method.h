@@ -1,0 +1,49 @@
+#ifndef QCLUSTER_CORE_RETRIEVAL_METHOD_H_
+#define QCLUSTER_CORE_RETRIEVAL_METHOD_H_
+
+#include <string>
+#include <vector>
+
+#include "index/knn.h"
+#include "linalg/vector.h"
+
+namespace qcluster::core {
+
+/// An image the user marked as relevant, by database id, with its relevance
+/// score (the paper's v_ij; any positive scale).
+struct RelevantItem {
+  int id = 0;
+  double score = 1.0;
+};
+
+/// Common protocol of all relevance-feedback retrieval methods compared in
+/// Sec. 5 (Qcluster, query point movement, query expansion, FALCON): an
+/// initial query-by-example round followed by feedback-refined rounds. The
+/// evaluation harness drives every method through this interface.
+class RetrievalMethod {
+ public:
+  virtual ~RetrievalMethod() = default;
+
+  /// Human readable method name ("qcluster", "qpm", ...).
+  virtual std::string name() const = 0;
+
+  /// Runs the initial k-NN round around the example `query`, resetting all
+  /// feedback state.
+  virtual std::vector<index::Neighbor> InitialQuery(
+      const linalg::Vector& query) = 0;
+
+  /// Incorporates one round of user judgements and answers the refined
+  /// query.
+  virtual std::vector<index::Neighbor> Feedback(
+      const std::vector<RelevantItem>& marked) = 0;
+
+  /// Clears all feedback state.
+  virtual void Reset() = 0;
+
+  /// Cost counters of the most recent retrieval round.
+  virtual const index::SearchStats& last_search_stats() const = 0;
+};
+
+}  // namespace qcluster::core
+
+#endif  // QCLUSTER_CORE_RETRIEVAL_METHOD_H_

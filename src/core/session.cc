@@ -1,0 +1,57 @@
+#include "core/session.h"
+
+#include "common/check.h"
+
+namespace qcluster::core {
+
+RetrievalSession::RetrievalSession(
+    const std::vector<linalg::Vector>* database, const index::KnnIndex* knn,
+    const QclusterOptions& options)
+    : database_(database),
+      knn_(knn),
+      options_(options),
+      engine_(database, knn, options) {}
+
+std::vector<index::Neighbor> RetrievalSession::Start(
+    const linalg::Vector& query) {
+  query_ = query;
+  history_.clear();
+  initial_result_ = engine_.InitialQuery(query);
+  current_result_ = initial_result_;
+  return current_result_;
+}
+
+std::vector<index::Neighbor> RetrievalSession::Feedback(
+    const std::vector<RelevantItem>& marked) {
+  QCLUSTER_CHECK_MSG(started(), "call Start before Feedback");
+  SessionRound round;
+  round.marked = marked;
+  round.result = engine_.Feedback(marked);
+  round.clusters = engine_.clusters();
+  round.search_stats = engine_.last_search_stats();
+  current_result_ = round.result;
+  history_.push_back(std::move(round));
+  return current_result_;
+}
+
+bool RetrievalSession::Undo() {
+  if (history_.empty()) return false;
+  history_.pop_back();
+  Replay();
+  return true;
+}
+
+void RetrievalSession::Replay() {
+  QCLUSTER_CHECK(started());
+  // Deterministic replay of the remaining rounds restores the exact
+  // engine state (clusters, dedup set, query cache) of that point in time.
+  const std::vector<SessionRound> kept = std::move(history_);
+  history_.clear();
+  initial_result_ = engine_.InitialQuery(*query_);
+  current_result_ = initial_result_;
+  for (const SessionRound& round : kept) {
+    Feedback(round.marked);
+  }
+}
+
+}  // namespace qcluster::core

@@ -1,0 +1,79 @@
+#ifndef QCLUSTER_CORE_SESSION_H_
+#define QCLUSTER_CORE_SESSION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace qcluster::core {
+
+/// A recorded feedback round.
+struct SessionRound {
+  std::vector<RelevantItem> marked;          ///< What the user marked.
+  std::vector<index::Neighbor> result;       ///< The refined result.
+  std::vector<Cluster> clusters;             ///< Cluster state snapshot.
+  index::SearchStats search_stats;           ///< Cost of the round's query.
+};
+
+/// A stateful retrieval session over a QclusterEngine: records every round
+/// (marks, results, cluster snapshots), supports undoing the most recent
+/// feedback — the "oops, unmark that" interaction every interactive CBIR
+/// front-end needs — and exposes the full history for inspection.
+///
+/// Undo restores the engine's cluster state by replaying the marks of the
+/// remaining rounds onto a fresh engine; with the library's deterministic
+/// algorithms this reproduces the exact pre-feedback state.
+class RetrievalSession {
+ public:
+  /// Wraps an engine configuration over `database`/`knn` (both outlive the
+  /// session).
+  RetrievalSession(const std::vector<linalg::Vector>* database,
+                   const index::KnnIndex* knn, const QclusterOptions& options);
+
+  /// Starts (or restarts) the session at the example image.
+  std::vector<index::Neighbor> Start(const linalg::Vector& query);
+
+  /// One feedback round; recorded in the history.
+  std::vector<index::Neighbor> Feedback(
+      const std::vector<RelevantItem>& marked);
+
+  /// Undoes the most recent feedback round, restoring results and cluster
+  /// state to the previous round. Returns false when there is nothing to
+  /// undo (no feedback yet).
+  bool Undo();
+
+  /// The current result set (initial or latest refined).
+  const std::vector<index::Neighbor>& current_result() const {
+    return current_result_;
+  }
+
+  /// Completed feedback rounds, oldest first.
+  const std::vector<SessionRound>& history() const { return history_; }
+
+  /// Current cluster state (empty before the first feedback).
+  const std::vector<Cluster>& clusters() const { return engine_.clusters(); }
+
+  /// Number of feedback rounds applied.
+  int rounds() const { return static_cast<int>(history_.size()); }
+
+  /// True once Start has been called.
+  bool started() const { return query_.has_value(); }
+
+ private:
+  void Replay();
+
+  const std::vector<linalg::Vector>* database_;
+  const index::KnnIndex* knn_;
+  QclusterOptions options_;
+  QclusterEngine engine_;
+
+  std::optional<linalg::Vector> query_;
+  std::vector<index::Neighbor> initial_result_;
+  std::vector<index::Neighbor> current_result_;
+  std::vector<SessionRound> history_;
+};
+
+}  // namespace qcluster::core
+
+#endif  // QCLUSTER_CORE_SESSION_H_

@@ -1,0 +1,91 @@
+#include "dataset/feature_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+
+namespace qcluster::dataset {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x51434653;  // "QCFS".
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, std::uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU32(std::FILE* f, std::uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveFeatureSet(const FeatureSet& set, const std::string& path) {
+  QCLUSTER_CHECK(set.features.size() == set.categories.size());
+  QCLUSTER_CHECK(set.features.size() == set.themes.size());
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::NotFound("cannot open for writing: " + path);
+
+  const std::uint32_t n = static_cast<std::uint32_t>(set.features.size());
+  const std::uint32_t dim = static_cast<std::uint32_t>(set.dim());
+  if (!WriteU32(f.get(), kMagic) || !WriteU32(f.get(), kVersion) ||
+      !WriteU32(f.get(), n) || !WriteU32(f.get(), dim)) {
+    return Status::Internal("short write on header: " + path);
+  }
+  for (const linalg::Vector& v : set.features) {
+    QCLUSTER_CHECK(v.size() == dim);
+    if (std::fwrite(v.data(), sizeof(double), v.size(), f.get()) != v.size()) {
+      return Status::Internal("short write on features: " + path);
+    }
+  }
+  if (n > 0 &&
+      (std::fwrite(set.categories.data(), sizeof(int), n, f.get()) != n ||
+       std::fwrite(set.themes.data(), sizeof(int), n, f.get()) != n)) {
+    return Status::Internal("short write on labels: " + path);
+  }
+  return Status::OK();
+}
+
+Result<FeatureSet> LoadFeatureSet(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::NotFound("cannot open: " + path);
+
+  std::uint32_t magic = 0, version = 0, n = 0, dim = 0;
+  if (!ReadU32(f.get(), &magic) || !ReadU32(f.get(), &version) ||
+      !ReadU32(f.get(), &n) || !ReadU32(f.get(), &dim)) {
+    return Status::InvalidArgument("truncated header: " + path);
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported version in " + path);
+  }
+
+  FeatureSet set;
+  set.features.resize(n, linalg::Vector(dim));
+  for (linalg::Vector& v : set.features) {
+    if (std::fread(v.data(), sizeof(double), dim, f.get()) != dim) {
+      return Status::InvalidArgument("truncated features in " + path);
+    }
+  }
+  set.categories.resize(n);
+  set.themes.resize(n);
+  if (n > 0 &&
+      (std::fread(set.categories.data(), sizeof(int), n, f.get()) != n ||
+       std::fread(set.themes.data(), sizeof(int), n, f.get()) != n)) {
+    return Status::InvalidArgument("truncated labels in " + path);
+  }
+  return set;
+}
+
+}  // namespace qcluster::dataset

@@ -1,0 +1,35 @@
+#ifndef QCLUSTER_EVAL_FUSION_H_
+#define QCLUSTER_EVAL_FUSION_H_
+
+#include <vector>
+
+#include "index/knn.h"
+
+namespace qcluster::eval {
+
+/// Rank-list fusion for multi-feature retrieval. MARS-lineage CBIR systems
+/// combine per-feature similarities (color, texture) into an overall
+/// ranking; these utilities fuse the ranked lists produced by running a
+/// retrieval method independently in each feature space.
+
+/// Reciprocal-rank fusion: score(id) = Σ_lists w_l / (k0 + rank_l(id)),
+/// with rank counted from 1 and ids absent from a list contributing 0.
+/// Robust to incomparable distance scales (it ignores them entirely).
+/// Returns the fused ranking (best first), at most `k` entries; the
+/// `distance` field carries the negated fusion score so that smaller is
+/// better, consistent with every other ranking in the library.
+std::vector<index::Neighbor> ReciprocalRankFusion(
+    const std::vector<std::vector<index::Neighbor>>& lists,
+    const std::vector<double>& weights, int k, double k0 = 60.0);
+
+/// Min-max normalized score fusion: each list's distances are rescaled to
+/// [0, 1]; fused(id) = Σ_l w_l · norm_dist_l(id), with ids missing from a
+/// list assigned that list's maximum (1.0). Sensitive to distance shapes
+/// but uses the full metric information.
+std::vector<index::Neighbor> WeightedScoreFusion(
+    const std::vector<std::vector<index::Neighbor>>& lists,
+    const std::vector<double>& weights, int k);
+
+}  // namespace qcluster::eval
+
+#endif  // QCLUSTER_EVAL_FUSION_H_

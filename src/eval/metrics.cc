@@ -1,0 +1,27 @@
+#include "eval/metrics.h"
+
+#include "common/check.h"
+
+namespace qcluster::eval {
+
+std::vector<PrPoint> AveragePrCurves(
+    const std::vector<std::vector<PrPoint>>& curves) {
+  QCLUSTER_CHECK(!curves.empty());
+  const std::size_t length = curves.front().size();
+  std::vector<PrPoint> avg(length);
+  for (const auto& curve : curves) {
+    QCLUSTER_CHECK(curve.size() == length);
+    for (std::size_t i = 0; i < length; ++i) {
+      avg[i].precision += curve[i].precision;
+      avg[i].recall += curve[i].recall;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(curves.size());
+  for (PrPoint& pt : avg) {
+    pt.precision *= inv;
+    pt.recall *= inv;
+  }
+  return avg;
+}
+
+}  // namespace qcluster::eval

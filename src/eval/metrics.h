@@ -1,0 +1,71 @@
+#ifndef QCLUSTER_EVAL_METRICS_H_
+#define QCLUSTER_EVAL_METRICS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "index/knn.h"
+
+namespace qcluster::eval {
+
+/// One (recall, precision) operating point.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+};
+
+/// Precision at cutoff `n`: fraction of the first n results that are
+/// relevant. `relevant(id)` is the ground-truth predicate.
+template <typename RelevantFn>
+double PrecisionAt(const std::vector<index::Neighbor>& ranked, int n,
+                   RelevantFn relevant) {
+  if (n <= 0 || ranked.empty()) return 0.0;
+  const int limit = std::min<int>(n, static_cast<int>(ranked.size()));
+  int hits = 0;
+  for (int i = 0; i < limit; ++i) {
+    if (relevant(ranked[static_cast<std::size_t>(i)].id)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+/// Recall at cutoff `n`: fraction of the `total_relevant` ground-truth
+/// items found in the first n results.
+template <typename RelevantFn>
+double RecallAt(const std::vector<index::Neighbor>& ranked, int n,
+                int total_relevant, RelevantFn relevant) {
+  if (n <= 0 || ranked.empty() || total_relevant <= 0) return 0.0;
+  const int limit = std::min<int>(n, static_cast<int>(ranked.size()));
+  int hits = 0;
+  for (int i = 0; i < limit; ++i) {
+    if (relevant(ranked[static_cast<std::size_t>(i)].id)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_relevant);
+}
+
+/// The per-iteration precision-recall curve of Fig. 8-9: one point per
+/// cutoff n = 1..ranked.size().
+template <typename RelevantFn>
+std::vector<PrPoint> PrCurve(const std::vector<index::Neighbor>& ranked,
+                             int total_relevant, RelevantFn relevant) {
+  std::vector<PrPoint> curve;
+  curve.reserve(ranked.size());
+  int hits = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant(ranked[i].id)) ++hits;
+    PrPoint pt;
+    pt.precision = static_cast<double>(hits) / static_cast<double>(i + 1);
+    pt.recall = total_relevant > 0 ? static_cast<double>(hits) /
+                                         static_cast<double>(total_relevant)
+                                   : 0.0;
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+/// Averages curves element-wise (all must share one length).
+std::vector<PrPoint> AveragePrCurves(
+    const std::vector<std::vector<PrPoint>>& curves);
+
+}  // namespace qcluster::eval
+
+#endif  // QCLUSTER_EVAL_METRICS_H_

@@ -1,0 +1,91 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "stats/distributions.h"
+
+namespace qcluster::eval {
+
+Result<PairedTTest> PairedDifferenceTest(const std::vector<double>& a,
+                                         const std::vector<double>& b,
+                                         double alpha) {
+  QCLUSTER_CHECK(0.0 < alpha && alpha < 1.0);
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired test needs equal-length samples");
+  }
+  const std::size_t n = a.size();
+  if (n < 2) {
+    return Status::FailedPrecondition("paired test needs at least 2 pairs");
+  }
+
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = (a[i] - b[i]) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n - 1);
+
+  PairedTTest out;
+  out.mean_difference = mean;
+  out.dof = static_cast<double>(n - 1);
+  if (var <= 0.0) {
+    // All differences identical: either exactly zero (p = 1) or a
+    // deterministic nonzero shift (p = 0).
+    out.t_statistic = mean == 0.0 ? 0.0
+                                  : std::numeric_limits<double>::infinity();
+    out.p_value = mean == 0.0 ? 1.0 : 0.0;
+    out.significant = mean != 0.0;
+    return out;
+  }
+  out.t_statistic = mean / std::sqrt(var / static_cast<double>(n));
+  const double tail =
+      stats::StudentTCdf(-std::abs(out.t_statistic), out.dof);
+  out.p_value = 2.0 * tail;
+  out.significant = out.p_value < alpha;
+  return out;
+}
+
+Result<BootstrapCi> BootstrapMeanCi(const std::vector<double>& values,
+                                    double alpha, int resamples,
+                                    std::uint64_t seed) {
+  QCLUSTER_CHECK(0.0 < alpha && alpha < 1.0);
+  QCLUSTER_CHECK(resamples >= 10);
+  if (values.empty()) {
+    return Status::FailedPrecondition("bootstrap needs at least one value");
+  }
+  Rng rng(seed);
+  const std::size_t n = values.size();
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  double total = 0.0;
+  for (double v : values) total += v;
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += values[static_cast<std::size_t>(rng.UniformInt(n))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+  const auto percentile = [&means](double p) {
+    const double pos = p * static_cast<double>(means.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= means.size()) return means.back();
+    return means[idx] * (1.0 - frac) + means[idx + 1] * frac;
+  };
+  BootstrapCi out;
+  out.mean = total / static_cast<double>(n);
+  out.lower = percentile(alpha / 2.0);
+  out.upper = percentile(1.0 - alpha / 2.0);
+  return out;
+}
+
+}  // namespace qcluster::eval

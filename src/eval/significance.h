@@ -1,0 +1,46 @@
+#ifndef QCLUSTER_EVAL_SIGNIFICANCE_H_
+#define QCLUSTER_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qcluster::eval {
+
+/// Result of a paired two-sided t-test.
+struct PairedTTest {
+  double mean_difference = 0.0;  ///< mean(a − b).
+  double t_statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 0.0;  ///< Two-sided.
+  bool significant = false;
+};
+
+/// Paired t-test over per-query metric values of two methods (e.g. recall
+/// at the final iteration for every query). The experiment harness uses it
+/// to report whether Qcluster's advantage over a baseline is statistically
+/// significant rather than query-sampling noise. Requires at least two
+/// pairs and non-degenerate differences; a zero-variance nonzero difference
+/// reports p = 0.
+Result<PairedTTest> PairedDifferenceTest(const std::vector<double>& a,
+                                         const std::vector<double>& b,
+                                         double alpha = 0.05);
+
+/// A percentile bootstrap confidence interval for the mean of `values`.
+struct BootstrapCi {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Resamples `values` with replacement `resamples` times and returns the
+/// mean plus the (alpha/2, 1 − alpha/2) percentile interval — the error
+/// bars for per-query recall/precision averages. Requires non-empty input.
+Result<BootstrapCi> BootstrapMeanCi(const std::vector<double>& values,
+                                    double alpha, int resamples,
+                                    std::uint64_t seed);
+
+}  // namespace qcluster::eval
+
+#endif  // QCLUSTER_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,50 @@
+#include "image/color_moments.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qcluster::image {
+
+linalg::Vector ExtractColorMoments(const Image& img) {
+  const std::size_t n = img.pixels().size();
+  QCLUSTER_CHECK(n > 0);
+
+  // Channel sums for mean.
+  double sum[3] = {0.0, 0.0, 0.0};
+  std::vector<double> channels[3];
+  for (auto& c : channels) c.reserve(n);
+  for (const Rgb& px : img.pixels()) {
+    double h, s, v;
+    RgbToHsv(px, &h, &s, &v);
+    const double values[3] = {h / 360.0, s, v};
+    for (int c = 0; c < 3; ++c) {
+      channels[c].push_back(values[c]);
+      sum[c] += values[c];
+    }
+  }
+
+  linalg::Vector feature(kColorMomentDim);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int c = 0; c < 3; ++c) {
+    const double mean = sum[c] * inv_n;
+    double m2 = 0.0;
+    double m3 = 0.0;
+    for (double value : channels[c]) {
+      const double d = value - mean;
+      m2 += d * d;
+      m3 += d * d * d;
+    }
+    m2 *= inv_n;
+    m3 *= inv_n;
+    const double stddev = std::sqrt(m2);
+    // Signed cube root keeps skewness on the same scale as the channel.
+    const double skewness = std::cbrt(m3);
+    feature[static_cast<std::size_t>(3 * c + 0)] = mean;
+    feature[static_cast<std::size_t>(3 * c + 1)] = stddev;
+    feature[static_cast<std::size_t>(3 * c + 2)] = skewness;
+  }
+  return feature;
+}
+
+}  // namespace qcluster::image

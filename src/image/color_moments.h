@@ -1,0 +1,21 @@
+#ifndef QCLUSTER_IMAGE_COLOR_MOMENTS_H_
+#define QCLUSTER_IMAGE_COLOR_MOMENTS_H_
+
+#include "image/image.h"
+#include "linalg/vector.h"
+
+namespace qcluster::image {
+
+/// Number of raw color-moment features: 3 moments x 3 HSV channels.
+inline constexpr int kColorMomentDim = 9;
+
+/// Extracts the color-moment feature of Sec. 5: for each HSV channel the
+/// mean, standard deviation, and skewness (cube root of the third central
+/// moment, preserving sign). Hue is normalized to [0, 1] so all channels
+/// share a scale. The paper then reduces this 9-dim vector to 3 via PCA at
+/// the collection level (see dataset::FeatureDatabase).
+linalg::Vector ExtractColorMoments(const Image& img);
+
+}  // namespace qcluster::image
+
+#endif  // QCLUSTER_IMAGE_COLOR_MOMENTS_H_

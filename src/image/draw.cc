@@ -1,0 +1,107 @@
+#include "image/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qcluster::image {
+namespace {
+
+std::uint8_t ClampByte(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+Rgb Lerp(Rgb a, Rgb b, double t) {
+  return Rgb{ClampByte(a.r + (b.r - a.r) * t + 0.5),
+             ClampByte(a.g + (b.g - a.g) * t + 0.5),
+             ClampByte(a.b + (b.b - a.b) * t + 0.5)};
+}
+
+}  // namespace
+
+void FillVerticalGradient(Image& img, Rgb top, Rgb bottom) {
+  for (int y = 0; y < img.height(); ++y) {
+    const double t =
+        img.height() > 1 ? static_cast<double>(y) / (img.height() - 1) : 0.0;
+    const Rgb color = Lerp(top, bottom, t);
+    for (int x = 0; x < img.width(); ++x) img.at(x, y) = color;
+  }
+}
+
+void FillRect(Image& img, int x0, int y0, int x1, int y1, Rgb color) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, img.width());
+  y1 = std::min(y1, img.height());
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) img.at(x, y) = color;
+  }
+}
+
+void FillDisk(Image& img, int cx, int cy, int r, Rgb color) {
+  FillEllipse(img, cx, cy, r, r, color);
+}
+
+void FillEllipse(Image& img, int cx, int cy, int rx, int ry, Rgb color) {
+  QCLUSTER_CHECK(rx >= 0 && ry >= 0);
+  if (rx == 0 || ry == 0) return;
+  const int x0 = std::max(cx - rx, 0);
+  const int x1 = std::min(cx + rx + 1, img.width());
+  const int y0 = std::max(cy - ry, 0);
+  const int y1 = std::min(cy + ry + 1, img.height());
+  const double inv_rx2 = 1.0 / (static_cast<double>(rx) * rx);
+  const double inv_ry2 = 1.0 / (static_cast<double>(ry) * ry);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const double dx = x - cx;
+      const double dy = y - cy;
+      if (dx * dx * inv_rx2 + dy * dy * inv_ry2 <= 1.0) {
+        img.at(x, y) = color;
+      }
+    }
+  }
+}
+
+void DrawHorizontalStripes(Image& img, int period, Rgb a, Rgb b) {
+  QCLUSTER_CHECK(period >= 2);
+  for (int y = 0; y < img.height(); ++y) {
+    const Rgb color = (y % period) * 2 < period ? a : b;
+    for (int x = 0; x < img.width(); ++x) img.at(x, y) = color;
+  }
+}
+
+void DrawCheckerboard(Image& img, int cell, Rgb a, Rgb b) {
+  QCLUSTER_CHECK(cell >= 1);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      img.at(x, y) = ((x / cell + y / cell) % 2 == 0) ? a : b;
+    }
+  }
+}
+
+void AddUniformNoise(Image& img, int amplitude, Rng& rng) {
+  QCLUSTER_CHECK(amplitude >= 0);
+  if (amplitude == 0) return;
+  for (Rgb& px : img.pixels()) {
+    px.r = ClampByte(px.r + rng.Uniform(-amplitude, amplitude));
+    px.g = ClampByte(px.g + rng.Uniform(-amplitude, amplitude));
+    px.b = ClampByte(px.b + rng.Uniform(-amplitude, amplitude));
+  }
+}
+
+void JitterHsv(Image& img, double hue_deg, double sat, double val, Rng& rng) {
+  const double dh = rng.Uniform(-hue_deg, hue_deg);
+  const double ds = rng.Uniform(-sat, sat);
+  const double dv = rng.Uniform(-val, val);
+  for (Rgb& px : img.pixels()) {
+    double h, s, v;
+    RgbToHsv(px, &h, &s, &v);
+    h += dh;
+    s = std::clamp(s + ds, 0.0, 1.0);
+    v = std::clamp(v + dv, 0.0, 1.0);
+    px = HsvToRgb(h, s, v);
+  }
+}
+
+}  // namespace qcluster::image

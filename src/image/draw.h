@@ -1,0 +1,42 @@
+#ifndef QCLUSTER_IMAGE_DRAW_H_
+#define QCLUSTER_IMAGE_DRAW_H_
+
+#include "common/rng.h"
+#include "image/image.h"
+
+namespace qcluster::image {
+
+/// Procedural drawing primitives used by the synthetic image collection
+/// (the Corel substitute, see DESIGN.md). All operations clip to the raster.
+
+/// Fills the whole image with a vertical gradient from `top` to `bottom`.
+void FillVerticalGradient(Image& img, Rgb top, Rgb bottom);
+
+/// Fills an axis-aligned rectangle [x0, x1) x [y0, y1).
+void FillRect(Image& img, int x0, int y0, int x1, int y1, Rgb color);
+
+/// Fills a disk centered at (cx, cy) with radius r.
+void FillDisk(Image& img, int cx, int cy, int r, Rgb color);
+
+/// Fills an axis-aligned ellipse centered at (cx, cy) with radii (rx, ry).
+void FillEllipse(Image& img, int cx, int cy, int rx, int ry, Rgb color);
+
+/// Draws horizontal stripes of the given `period` (pixels per full cycle),
+/// alternating between `a` and `b`.
+void DrawHorizontalStripes(Image& img, int period, Rgb a, Rgb b);
+
+/// Draws a checkerboard with `cell` pixel cells, alternating `a` and `b`.
+void DrawCheckerboard(Image& img, int cell, Rgb a, Rgb b);
+
+/// Perturbs every channel of every pixel by uniform noise in
+/// [-amplitude, amplitude], clamped to [0, 255]. Noise makes GLCM texture
+/// features non-degenerate, the same role natural grain plays in photos.
+void AddUniformNoise(Image& img, int amplitude, Rng& rng);
+
+/// Jitters hue/saturation/value of all pixels by bounded uniform offsets.
+/// Models intra-category photometric variation.
+void JitterHsv(Image& img, double hue_deg, double sat, double val, Rng& rng);
+
+}  // namespace qcluster::image
+
+#endif  // QCLUSTER_IMAGE_DRAW_H_

@@ -1,0 +1,90 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qcluster::image {
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill) {
+  QCLUSTER_CHECK(width > 0 && height > 0);
+}
+
+Rgb& Image::at(int x, int y) {
+  QCLUSTER_CHECK(Contains(x, y));
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+const Rgb& Image::at(int x, int y) const {
+  QCLUSTER_CHECK(Contains(x, y));
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+void RgbToHsv(const Rgb& rgb, double* h, double* s, double* v) {
+  const double r = rgb.r / 255.0;
+  const double g = rgb.g / 255.0;
+  const double b = rgb.b / 255.0;
+  const double maxc = std::max({r, g, b});
+  const double minc = std::min({r, g, b});
+  const double delta = maxc - minc;
+
+  *v = maxc;
+  *s = maxc > 0.0 ? delta / maxc : 0.0;
+  if (delta <= 0.0) {
+    *h = 0.0;
+    return;
+  }
+  double hue;
+  if (maxc == r) {
+    hue = 60.0 * std::fmod((g - b) / delta, 6.0);
+  } else if (maxc == g) {
+    hue = 60.0 * ((b - r) / delta + 2.0);
+  } else {
+    hue = 60.0 * ((r - g) / delta + 4.0);
+  }
+  if (hue < 0.0) hue += 360.0;
+  *h = hue;
+}
+
+Rgb HsvToRgb(double h, double s, double v) {
+  QCLUSTER_CHECK(0.0 <= s && s <= 1.0);
+  QCLUSTER_CHECK(0.0 <= v && v <= 1.0);
+  h = std::fmod(h, 360.0);
+  if (h < 0.0) h += 360.0;
+  const double c = v * s;
+  const double hp = h / 60.0;
+  const double x = c * (1.0 - std::abs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0.0, g = 0.0, b = 0.0;
+  if (hp < 1.0) {
+    r = c; g = x;
+  } else if (hp < 2.0) {
+    r = x; g = c;
+  } else if (hp < 3.0) {
+    g = c; b = x;
+  } else if (hp < 4.0) {
+    g = x; b = c;
+  } else if (hp < 5.0) {
+    r = x; b = c;
+  } else {
+    r = c; b = x;
+  }
+  const double m = v - c;
+  auto to_byte = [](double value) {
+    const double scaled = value * 255.0 + 0.5;
+    return static_cast<std::uint8_t>(std::clamp(scaled, 0.0, 255.0));
+  };
+  return Rgb{to_byte(r + m), to_byte(g + m), to_byte(b + m)};
+}
+
+double RgbToGray(const Rgb& rgb) {
+  return 0.299 * rgb.r + 0.587 * rgb.g + 0.114 * rgb.b;
+}
+
+}  // namespace qcluster::image

@@ -1,0 +1,63 @@
+#ifndef QCLUSTER_IMAGE_IMAGE_H_
+#define QCLUSTER_IMAGE_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qcluster::image {
+
+/// An 8-bit RGB pixel.
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend bool operator==(const Rgb& a, const Rgb& b) = default;
+};
+
+/// A dense in-memory RGB raster.
+///
+/// The reproduction extracts features from synthesized rasters instead of
+/// decoding the (unavailable) Corel collection; see DESIGN.md. The type is
+/// intentionally minimal: contiguous storage, bounds-checked access in
+/// debug-style checks, no color management.
+class Image {
+ public:
+  /// Creates a width x height image filled with `fill`.
+  Image(int width, int height, Rgb fill = Rgb{0, 0, 0});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Pixel access; (x, y) must be inside the raster.
+  Rgb& at(int x, int y);
+  const Rgb& at(int x, int y) const;
+
+  /// True when (x, y) lies inside the raster.
+  bool Contains(int x, int y) const {
+    return 0 <= x && x < width_ && 0 <= y && y < height_;
+  }
+
+  /// Raw row-major pixel storage.
+  const std::vector<Rgb>& pixels() const { return pixels_; }
+  std::vector<Rgb>& pixels() { return pixels_; }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Rgb> pixels_;
+};
+
+/// Converts an RGB pixel to HSV. Hue is in [0, 360), saturation and value in
+/// [0, 1]. Hue of a gray pixel is 0 by convention.
+void RgbToHsv(const Rgb& rgb, double* h, double* s, double* v);
+
+/// Converts HSV (h in [0,360), s and v in [0,1]) to RGB.
+Rgb HsvToRgb(double h, double s, double v);
+
+/// Luminance in [0, 255] (Rec. 601 weights).
+double RgbToGray(const Rgb& rgb);
+
+}  // namespace qcluster::image
+
+#endif  // QCLUSTER_IMAGE_IMAGE_H_

@@ -1,0 +1,188 @@
+#include "index/br_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace qcluster::index {
+
+using linalg::Vector;
+
+BrTree::BrTree(const std::vector<Vector>* points, const Options& options)
+    : points_(points) {
+  QCLUSTER_CHECK(points != nullptr);
+  QCLUSTER_CHECK(options.leaf_size >= 1);
+  ids_.resize(points_->size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) ids_[i] = static_cast<int>(i);
+  if (!points_->empty()) {
+    root_ = Build(0, static_cast<int>(ids_.size()), options.leaf_size);
+  }
+}
+
+int BrTree::Build(int begin, int end, int leaf_size) {
+  QCLUSTER_CHECK(begin < end);
+  const int dim = static_cast<int>(points_->front().size());
+
+  Rect rect = Rect::Empty(dim);
+  for (int i = begin; i < end; ++i) {
+    rect.Expand((*points_)[static_cast<std::size_t>(
+        ids_[static_cast<std::size_t>(i)])]);
+  }
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<std::size_t>(node_index)].rect = rect;
+
+  if (end - begin <= leaf_size) {
+    Node& node = nodes_[static_cast<std::size_t>(node_index)];
+    node.begin = begin;
+    node.end = end;
+    return node_index;
+  }
+
+  // Split on the widest dimension at the median.
+  int split_dim = 0;
+  double widest = -1.0;
+  for (int d = 0; d < dim; ++d) {
+    const double extent = rect.hi[static_cast<std::size_t>(d)] -
+                          rect.lo[static_cast<std::size_t>(d)];
+    if (extent > widest) {
+      widest = extent;
+      split_dim = d;
+    }
+  }
+  const int mid = begin + (end - begin) / 2;
+  std::nth_element(
+      ids_.begin() + begin, ids_.begin() + mid, ids_.begin() + end,
+      [this, split_dim](int a, int b) {
+        return (*points_)[static_cast<std::size_t>(a)]
+                   [static_cast<std::size_t>(split_dim)] <
+               (*points_)[static_cast<std::size_t>(b)]
+                   [static_cast<std::size_t>(split_dim)];
+      });
+
+  const int left = Build(begin, mid, leaf_size);
+  const int right = Build(mid, end, leaf_size);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+std::vector<Neighbor> BrTree::Search(const DistanceFunction& dist, int k,
+                                     SearchStats* stats) const {
+  return SearchImpl(dist, k, nullptr, nullptr, stats);
+}
+
+std::vector<Neighbor> BrTree::SearchCached(const DistanceFunction& dist, int k,
+                                           QueryCache& cache,
+                                           SearchStats* stats) const {
+  QueryCache touched;
+  std::vector<Neighbor> result =
+      SearchImpl(dist, k, cache.empty() ? nullptr : &cache, &touched, stats);
+  cache = std::move(touched);
+  return result;
+}
+
+std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
+                                         const QueryCache* warm_cache,
+                                         QueryCache* touched,
+                                         SearchStats* stats) const {
+  QCLUSTER_CHECK(k > 0);
+  if (root_ < 0) return {};
+
+  const auto neighbor_cmp = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  // Max-heap of the best k seen so far; top is the current k-th distance.
+  std::priority_queue<Neighbor, std::vector<Neighbor>,
+                      decltype(neighbor_cmp)>
+      best(neighbor_cmp);
+  auto offer = [&](int id, double d) {
+    if (static_cast<int>(best.size()) < k) {
+      best.push(Neighbor{id, d});
+    } else if (d < best.top().distance ||
+               (d == best.top().distance && id < best.top().id)) {
+      best.pop();
+      best.push(Neighbor{id, d});
+    }
+  };
+  auto kth_bound = [&] {
+    return static_cast<int>(best.size()) < k
+               ? std::numeric_limits<double>::infinity()
+               : best.top().distance;
+  };
+
+  // Warm start: re-score the previous iterations' candidates first (pure
+  // in-memory work — their leaf pages are cached). The resulting k-th
+  // distance bound prunes most of the refined query's tree, and cached
+  // leaves are never fetched again. `warm_ids` guards against offering a
+  // candidate twice when an uncached leaf overlaps the candidate set.
+  std::unordered_set<int> warm_ids;
+  if (warm_cache != nullptr) {
+    warm_ids.reserve(warm_cache->candidates_.size());
+    for (int id : warm_cache->candidates_) {
+      if (!warm_ids.insert(id).second) continue;
+      offer(id, dist.Distance((*points_)[static_cast<std::size_t>(id)]));
+      if (stats != nullptr) ++stats->distance_evaluations;
+      if (touched != nullptr) touched->candidates_.push_back(id);
+    }
+    if (touched != nullptr) touched->leaves_ = warm_cache->leaves_;
+  }
+
+  // Best-first traversal ordered by rectangle lower bounds.
+  struct Entry {
+    double bound;
+    int node;
+  };
+  const auto entry_cmp = [](const Entry& a, const Entry& b) {
+    return a.bound > b.bound;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(entry_cmp)> frontier(
+      entry_cmp);
+  frontier.push(
+      Entry{dist.MinDistance(nodes_[static_cast<std::size_t>(root_)].rect),
+            root_});
+
+  while (!frontier.empty()) {
+    const Entry entry = frontier.top();
+    frontier.pop();
+    if (entry.bound > kth_bound()) break;  // Nothing closer remains.
+    const Node& node = nodes_[static_cast<std::size_t>(entry.node)];
+    if (stats != nullptr) ++stats->nodes_visited;
+    if (node.IsLeaf()) {
+      // A leaf whose page is in the iteration cache costs no IO and its
+      // points were already offered during the warm phase.
+      if (warm_cache != nullptr && warm_cache->leaves_.contains(entry.node)) {
+        continue;
+      }
+      if (stats != nullptr) ++stats->leaves_visited;
+      if (touched != nullptr) touched->leaves_.insert(entry.node);
+      for (int i = node.begin; i < node.end; ++i) {
+        const int id = ids_[static_cast<std::size_t>(i)];
+        if (!warm_ids.empty() && warm_ids.contains(id)) continue;
+        offer(id, dist.Distance((*points_)[static_cast<std::size_t>(id)]));
+        if (stats != nullptr) ++stats->distance_evaluations;
+        if (touched != nullptr) touched->candidates_.push_back(id);
+      }
+    } else {
+      for (int child : {node.left, node.right}) {
+        const double bound =
+            dist.MinDistance(nodes_[static_cast<std::size_t>(child)].rect);
+        if (bound <= kth_bound()) frontier.push(Entry{bound, child});
+      }
+    }
+  }
+
+  std::vector<Neighbor> result(best.size());
+  for (std::size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+}  // namespace qcluster::index

@@ -1,0 +1,104 @@
+#ifndef QCLUSTER_INDEX_BR_TREE_H_
+#define QCLUSTER_INDEX_BR_TREE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "index/knn.h"
+
+namespace qcluster::index {
+
+/// A bounding-rectangle tree for k-NN search under arbitrary distance
+/// functions, standing in for the hybrid tree [6] the paper indexes its
+/// feature vectors with.
+///
+/// The tree is bulk-loaded by recursive median splits on the widest
+/// dimension (the balanced KD-style space partitioning the hybrid tree also
+/// produces); every node stores the bounding rectangle of its subtree, and
+/// search is the classic best-first traversal ordered by
+/// `DistanceFunction::MinDistance` on rectangles.
+///
+/// Relevance-feedback refinement support: consecutive feedback iterations
+/// issue *similar* queries, and the multipoint approach of [7] amortizes
+/// work by reusing index information across iterations. `QueryCache` keeps
+/// the candidate set touched by the previous iteration; re-scoring it first
+/// yields a tight upper bound on the k-th distance, which prunes most node
+/// expansions of the refined query (measured in Fig. 7's cost comparison).
+class BrTree final : public KnnIndex {
+ public:
+  struct Options {
+    int leaf_size = 32;  ///< Maximum points per leaf.
+  };
+
+  /// State carried between feedback iterations of one query session: the
+  /// candidate points scored so far and the leaf pages already fetched.
+  /// A warm-started search re-scores the candidates in memory and never
+  /// re-reads a cached leaf — the node-IO saving of the multipoint
+  /// refinement framework [7] that Fig. 7 measures.
+  class QueryCache {
+   public:
+    /// Candidate point ids retained from previous iterations.
+    const std::vector<int>& candidates() const { return candidates_; }
+    /// Leaf nodes whose contents the cache already holds.
+    int cached_leaf_count() const { return static_cast<int>(leaves_.size()); }
+    bool empty() const { return candidates_.empty(); }
+    void Clear() {
+      candidates_.clear();
+      leaves_.clear();
+    }
+
+   private:
+    friend class BrTree;
+    std::vector<int> candidates_;
+    std::unordered_set<int> leaves_;
+  };
+
+  /// Bulk-loads the tree over `points` (kept alive by the caller).
+  BrTree(const std::vector<linalg::Vector>* points, const Options& options);
+
+  /// Bulk-loads with default options.
+  explicit BrTree(const std::vector<linalg::Vector>* points)
+      : BrTree(points, Options{}) {}
+
+  int size() const override { return static_cast<int>(points_->size()); }
+
+  std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
+                               SearchStats* stats = nullptr) const override;
+
+  /// Best-first search warm-started from `cache` (cold when empty). On
+  /// return the cache holds this iteration's touched candidates, ready for
+  /// the next refinement step.
+  std::vector<Neighbor> SearchCached(const DistanceFunction& dist, int k,
+                                     QueryCache& cache,
+                                     SearchStats* stats = nullptr) const;
+
+  /// Number of tree nodes (for tests).
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  friend class IncrementalKnn;
+
+  struct Node {
+    Rect rect;
+    int left = -1;    ///< Child index, -1 for leaves.
+    int right = -1;
+    int begin = 0;    ///< Range in ids_ (leaves only).
+    int end = 0;
+    bool IsLeaf() const { return left < 0; }
+  };
+
+  int Build(int begin, int end, int leaf_size);
+  std::vector<Neighbor> SearchImpl(const DistanceFunction& dist, int k,
+                                   const QueryCache* warm_cache,
+                                   QueryCache* touched,
+                                   SearchStats* stats) const;
+
+  const std::vector<linalg::Vector>* points_;
+  std::vector<int> ids_;       ///< Point ids, permuted so leaves are ranges.
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace qcluster::index
+
+#endif  // QCLUSTER_INDEX_BR_TREE_H_

@@ -1,0 +1,117 @@
+#include "index/distance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "linalg/eigen_sym.h"
+
+namespace qcluster::index {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+void Rect::Expand(const Vector& x) {
+  QCLUSTER_CHECK(x.size() == lo.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    lo[i] = std::min(lo[i], x[i]);
+    hi[i] = std::max(hi[i], x[i]);
+  }
+}
+
+Rect Rect::Empty(int dim) {
+  Rect r;
+  r.lo.assign(static_cast<std::size_t>(dim),
+              std::numeric_limits<double>::infinity());
+  r.hi.assign(static_cast<std::size_t>(dim),
+              -std::numeric_limits<double>::infinity());
+  return r;
+}
+
+double Rect::SquaredEuclideanDistance(const Vector& x) const {
+  QCLUSTER_CHECK(x.size() == lo.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double d = 0.0;
+    if (x[i] < lo[i]) {
+      d = lo[i] - x[i];
+    } else if (x[i] > hi[i]) {
+      d = x[i] - hi[i];
+    }
+    sum += d * d;
+  }
+  return sum;
+}
+
+double DistanceFunction::MinDistance(const Rect& rect) const {
+  (void)rect;
+  return 0.0;
+}
+
+EuclideanDistance::EuclideanDistance(Vector query) : query_(std::move(query)) {
+  QCLUSTER_CHECK(!query_.empty());
+}
+
+double EuclideanDistance::Distance(const Vector& x) const {
+  return linalg::SquaredDistance(query_, x);
+}
+
+double EuclideanDistance::MinDistance(const Rect& rect) const {
+  return rect.SquaredEuclideanDistance(query_);
+}
+
+WeightedEuclideanDistance::WeightedEuclideanDistance(Vector query,
+                                                     Vector weights)
+    : query_(std::move(query)), weights_(std::move(weights)) {
+  QCLUSTER_CHECK(query_.size() == weights_.size());
+  for (double w : weights_) QCLUSTER_CHECK(w >= 0.0);
+}
+
+double WeightedEuclideanDistance::Distance(const Vector& x) const {
+  QCLUSTER_CHECK(x.size() == query_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - query_[i];
+    sum += weights_[i] * d * d;
+  }
+  return sum;
+}
+
+double WeightedEuclideanDistance::MinDistance(const Rect& rect) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < query_.size(); ++i) {
+    double d = 0.0;
+    if (query_[i] < rect.lo[i]) {
+      d = rect.lo[i] - query_[i];
+    } else if (query_[i] > rect.hi[i]) {
+      d = query_[i] - rect.hi[i];
+    }
+    sum += weights_[i] * d * d;
+  }
+  return sum;
+}
+
+MahalanobisDistance::MahalanobisDistance(Vector query,
+                                         Matrix inverse_covariance)
+    : query_(std::move(query)),
+      inverse_covariance_(std::move(inverse_covariance)),
+      min_eigenvalue_(0.0) {
+  QCLUSTER_CHECK(static_cast<int>(query_.size()) == inverse_covariance_.rows());
+  QCLUSTER_CHECK(inverse_covariance_.rows() == inverse_covariance_.cols());
+  Result<linalg::SymmetricEigen> eigen =
+      linalg::EigenSymmetric(inverse_covariance_);
+  if (eigen.ok() && !eigen.value().values.empty()) {
+    min_eigenvalue_ = std::max(eigen.value().values.back(), 0.0);
+  }
+}
+
+double MahalanobisDistance::Distance(const Vector& x) const {
+  const Vector diff = linalg::Sub(x, query_);
+  return linalg::QuadraticForm(diff, inverse_covariance_, diff);
+}
+
+double MahalanobisDistance::MinDistance(const Rect& rect) const {
+  return min_eigenvalue_ * rect.SquaredEuclideanDistance(query_);
+}
+
+}  // namespace qcluster::index

@@ -1,0 +1,99 @@
+#ifndef QCLUSTER_INDEX_DISTANCE_H_
+#define QCLUSTER_INDEX_DISTANCE_H_
+
+#include <memory>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace qcluster::index {
+
+/// Axis-aligned bounding rectangle in feature space.
+struct Rect {
+  linalg::Vector lo;
+  linalg::Vector hi;
+
+  int dim() const { return static_cast<int>(lo.size()); }
+
+  /// Grows the rectangle to contain `x`.
+  void Expand(const linalg::Vector& x);
+
+  /// A rectangle containing nothing (lo = +inf, hi = -inf), ready to Expand.
+  static Rect Empty(int dim);
+
+  /// Squared Euclidean distance from `x` to the rectangle (0 if inside).
+  double SquaredEuclideanDistance(const linalg::Vector& x) const;
+};
+
+/// A query-to-point dissimilarity measure, the abstraction the k-NN index
+/// searches under. Relevance feedback continually *changes* the metric (new
+/// weights, new query points, new cluster shapes), so the index must treat
+/// the metric as an opaque callable with an optional rectangle lower bound
+/// for pruning.
+///
+/// `Distance` values only need to rank consistently; all implementations in
+/// this library return squared quadratic forms.
+class DistanceFunction {
+ public:
+  virtual ~DistanceFunction() = default;
+
+  /// Feature-space dimensionality this function expects.
+  virtual int dim() const = 0;
+
+  /// Dissimilarity between the (implicit) query and the point `x`.
+  virtual double Distance(const linalg::Vector& x) const = 0;
+
+  /// A lower bound of `Distance(x)` over all x in `rect`. The default (0)
+  /// disables pruning but keeps the search correct.
+  virtual double MinDistance(const Rect& rect) const;
+};
+
+/// Squared Euclidean distance to a fixed query point.
+class EuclideanDistance final : public DistanceFunction {
+ public:
+  explicit EuclideanDistance(linalg::Vector query);
+
+  int dim() const override { return static_cast<int>(query_.size()); }
+  double Distance(const linalg::Vector& x) const override;
+  double MinDistance(const Rect& rect) const override;
+
+ private:
+  linalg::Vector query_;
+};
+
+/// Per-dimension weighted squared Euclidean distance — MARS's metric. All
+/// weights must be non-negative.
+class WeightedEuclideanDistance final : public DistanceFunction {
+ public:
+  WeightedEuclideanDistance(linalg::Vector query, linalg::Vector weights);
+
+  int dim() const override { return static_cast<int>(query_.size()); }
+  double Distance(const linalg::Vector& x) const override;
+  double MinDistance(const Rect& rect) const override;
+
+ private:
+  linalg::Vector query_;
+  linalg::Vector weights_;
+};
+
+/// Generalized (Mahalanobis) squared distance (x−q)' A (x−q) for a symmetric
+/// positive semi-definite A — MindReader's metric and the per-cluster metric
+/// of Eq. 1. Rectangle pruning uses λ_min(A) · d²_euclid(rect), which is a
+/// valid lower bound for any PSD A.
+class MahalanobisDistance final : public DistanceFunction {
+ public:
+  MahalanobisDistance(linalg::Vector query, linalg::Matrix inverse_covariance);
+
+  int dim() const override { return static_cast<int>(query_.size()); }
+  double Distance(const linalg::Vector& x) const override;
+  double MinDistance(const Rect& rect) const override;
+
+ private:
+  linalg::Vector query_;
+  linalg::Matrix inverse_covariance_;
+  double min_eigenvalue_;
+};
+
+}  // namespace qcluster::index
+
+#endif  // QCLUSTER_INDEX_DISTANCE_H_

@@ -1,0 +1,64 @@
+#include "index/incremental.h"
+
+#include "common/check.h"
+
+namespace qcluster::index {
+
+IncrementalKnn::IncrementalKnn(const BrTree* tree,
+                               const DistanceFunction* dist)
+    : tree_(tree), dist_(dist) {
+  QCLUSTER_CHECK(tree != nullptr && dist != nullptr);
+  if (tree_->root_ >= 0) {
+    frontier_.push(Entry{
+        dist_->MinDistance(
+            tree_->nodes_[static_cast<std::size_t>(tree_->root_)].rect),
+        tree_->root_, -1});
+  }
+}
+
+std::optional<Neighbor> IncrementalKnn::Next() {
+  while (!frontier_.empty()) {
+    const Entry entry = frontier_.top();
+    frontier_.pop();
+    if (entry.node < 0) {
+      // A point whose exact distance is no larger than any remaining lower
+      // bound: it is the next nearest neighbor.
+      return Neighbor{entry.point, entry.distance};
+    }
+    const BrTree::Node& node =
+        tree_->nodes_[static_cast<std::size_t>(entry.node)];
+    ++stats_.nodes_visited;
+    if (node.IsLeaf()) {
+      ++stats_.leaves_visited;
+      for (int i = node.begin; i < node.end; ++i) {
+        const int id = tree_->ids_[static_cast<std::size_t>(i)];
+        const double d =
+            dist_->Distance((*tree_->points_)[static_cast<std::size_t>(id)]);
+        ++stats_.distance_evaluations;
+        frontier_.push(Entry{d, -1, id});
+      }
+    } else {
+      for (int child : {node.left, node.right}) {
+        frontier_.push(Entry{
+            dist_->MinDistance(
+                tree_->nodes_[static_cast<std::size_t>(child)].rect),
+            child, -1});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Neighbor> IncrementalKnn::NextBatch(int k) {
+  QCLUSTER_CHECK(k >= 0);
+  std::vector<Neighbor> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    std::optional<Neighbor> next = Next();
+    if (!next.has_value()) break;
+    out.push_back(*next);
+  }
+  return out;
+}
+
+}  // namespace qcluster::index

@@ -1,0 +1,56 @@
+#ifndef QCLUSTER_INDEX_INCREMENTAL_H_
+#define QCLUSTER_INDEX_INCREMENTAL_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "index/br_tree.h"
+
+namespace qcluster::index {
+
+/// Incremental nearest-neighbor browsing over a BrTree (Hjaltason-Samet
+/// distance browsing): `Next()` yields neighbors in non-decreasing distance
+/// without a fixed k. This is the primitive the multimedia refinement
+/// framework [7] builds on — a refined query can keep pulling candidates
+/// until its stopping condition is met instead of guessing k up front.
+///
+/// The tree and the distance function must outlive the browser.
+class IncrementalKnn {
+ public:
+  IncrementalKnn(const BrTree* tree, const DistanceFunction* dist);
+
+  /// Returns the next nearest neighbor, or nullopt when exhausted.
+  std::optional<Neighbor> Next();
+
+  /// Pulls the next `k` neighbors (fewer at exhaustion).
+  std::vector<Neighbor> NextBatch(int k);
+
+  /// Cost counters accumulated so far.
+  const SearchStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    double distance = 0.0;
+    int node = -1;  ///< Tree node index, or -1 when this is a point.
+    int point = -1; ///< Point id when node < 0.
+  };
+  struct EntryOrder {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.distance != b.distance) return a.distance > b.distance;
+      // Nodes before points at equal distance (a node may still contain a
+      // closer point); among points, lower id first for determinism.
+      if ((a.node < 0) != (b.node < 0)) return a.node < 0;
+      return a.point > b.point;
+    }
+  };
+
+  const BrTree* tree_;
+  const DistanceFunction* dist_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryOrder> frontier_;
+  SearchStats stats_;
+};
+
+}  // namespace qcluster::index
+
+#endif  // QCLUSTER_INDEX_INCREMENTAL_H_

@@ -1,0 +1,44 @@
+#ifndef QCLUSTER_INDEX_KNN_H_
+#define QCLUSTER_INDEX_KNN_H_
+
+#include <vector>
+
+#include "index/distance.h"
+
+namespace qcluster::index {
+
+/// One k-NN result entry.
+struct Neighbor {
+  int id = -1;           ///< Position of the point in the database.
+  double distance = 0.0; ///< Value of the query's DistanceFunction.
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) = default;
+};
+
+/// Cost counters filled by a search, used by the execution-cost experiments
+/// (Fig. 6-7).
+struct SearchStats {
+  long long distance_evaluations = 0;  ///< Point-level metric evaluations.
+  long long nodes_visited = 0;         ///< Tree nodes expanded (0 for scans).
+  long long leaves_visited = 0;        ///< Leaf nodes expanded.
+};
+
+/// Interface of a k-nearest-neighbor search structure over an immutable
+/// point database. Implementations must return results sorted by ascending
+/// distance with stable id tiebreak.
+class KnnIndex {
+ public:
+  virtual ~KnnIndex() = default;
+
+  /// Number of indexed points.
+  virtual int size() const = 0;
+
+  /// Returns the k nearest points under `dist` (fewer when the database is
+  /// smaller than k). `stats`, when non-null, accumulates search cost.
+  virtual std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
+                                       SearchStats* stats = nullptr) const = 0;
+};
+
+}  // namespace qcluster::index
+
+#endif  // QCLUSTER_INDEX_KNN_H_

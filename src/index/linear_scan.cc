@@ -1,0 +1,41 @@
+#include "index/linear_scan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace qcluster::index {
+
+LinearScanIndex::LinearScanIndex(const std::vector<linalg::Vector>* points)
+    : points_(points) {
+  QCLUSTER_CHECK(points != nullptr);
+}
+
+std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
+                                              int k, SearchStats* stats) const {
+  QCLUSTER_CHECK(k > 0);
+  std::vector<Neighbor> all;
+  all.reserve(points_->size());
+  for (std::size_t i = 0; i < points_->size(); ++i) {
+    all.push_back(Neighbor{static_cast<int>(i), dist.Distance((*points_)[i])});
+  }
+  if (stats != nullptr) {
+    stats->distance_evaluations += static_cast<long long>(points_->size());
+  }
+  return TopK(std::move(all), k);
+}
+
+std::vector<Neighbor> TopK(std::vector<Neighbor> all, int k) {
+  const auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  if (static_cast<int>(all.size()) > k) {
+    std::nth_element(all.begin(), all.begin() + k, all.end(), cmp);
+    all.resize(static_cast<std::size_t>(k));
+  }
+  std::sort(all.begin(), all.end(), cmp);
+  return all;
+}
+
+}  // namespace qcluster::index

@@ -1,0 +1,32 @@
+#ifndef QCLUSTER_INDEX_LINEAR_SCAN_H_
+#define QCLUSTER_INDEX_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "index/knn.h"
+
+namespace qcluster::index {
+
+/// Exact k-NN by exhaustive scan. The correctness oracle for the BR-tree and
+/// the baseline for index cost comparisons.
+class LinearScanIndex final : public KnnIndex {
+ public:
+  /// Indexes `points` by reference; the caller keeps them alive and
+  /// unchanged for the lifetime of the index.
+  explicit LinearScanIndex(const std::vector<linalg::Vector>* points);
+
+  int size() const override { return static_cast<int>(points_->size()); }
+  std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
+                               SearchStats* stats = nullptr) const override;
+
+ private:
+  const std::vector<linalg::Vector>* points_;
+};
+
+/// Selects the k smallest (distance, id) pairs from `all` in-place semantics:
+/// shared helper for index implementations.
+std::vector<Neighbor> TopK(std::vector<Neighbor> all, int k);
+
+}  // namespace qcluster::index
+
+#endif  // QCLUSTER_INDEX_LINEAR_SCAN_H_

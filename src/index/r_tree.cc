@@ -1,0 +1,435 @@
+#include "index/r_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace qcluster::index {
+
+using linalg::Vector;
+
+RTree::RTree(const std::vector<Vector>* points, const Options& options)
+    : points_(points), options_(options) {
+  QCLUSTER_CHECK(points != nullptr);
+  QCLUSTER_CHECK(options.max_entries >= 4);
+  QCLUSTER_CHECK(options.min_entries >= 1);
+  QCLUSTER_CHECK(options.min_entries <= options.max_entries / 2);
+}
+
+int RTree::dim() const {
+  QCLUSTER_CHECK(!points_->empty());
+  return static_cast<int>(points_->front().size());
+}
+
+Rect RTree::PointRect(int id) const {
+  const Vector& p = (*points_)[static_cast<std::size_t>(id)];
+  return Rect{p, p};
+}
+
+double RTree::Area(const Rect& rect) const {
+  double area = 1.0;
+  for (std::size_t d = 0; d < rect.lo.size(); ++d) {
+    area *= rect.hi[d] - rect.lo[d];
+  }
+  return area;
+}
+
+double RTree::Enlargement(const Rect& rect, const Rect& add) const {
+  Rect merged = rect;
+  for (std::size_t d = 0; d < rect.lo.size(); ++d) {
+    merged.lo[d] = std::min(merged.lo[d], add.lo[d]);
+    merged.hi[d] = std::max(merged.hi[d], add.hi[d]);
+  }
+  return Area(merged) - Area(rect);
+}
+
+int RTree::AllocateNode() {
+  if (!free_list_.empty()) {
+    const int node = free_list_.back();
+    free_list_.pop_back();
+    nodes_[static_cast<std::size_t>(node)] = Node{};
+    return node;
+  }
+  nodes_.push_back(Node{});
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+void RTree::ReleaseNode(int node) { free_list_.push_back(node); }
+
+int RTree::ChooseLeaf(const Rect& rect) const {
+  int node = root_;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.leaf) return node;
+    int best = -1;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (int child : n.children) {
+      const Rect& child_rect = nodes_[static_cast<std::size_t>(child)].rect;
+      const double enlargement = Enlargement(child_rect, rect);
+      const double area = Area(child_rect);
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best_enlargement = enlargement;
+        best_area = area;
+        best = child;
+      }
+    }
+    node = best;
+  }
+}
+
+void RTree::RecomputeRect(int node) {
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  QCLUSTER_CHECK(!n.children.empty());
+  Rect rect = Rect::Empty(dim());
+  for (int child : n.children) {
+    const Rect& child_rect = n.leaf
+                                 ? PointRect(child)
+                                 : nodes_[static_cast<std::size_t>(child)].rect;
+    rect.Expand(child_rect.lo);
+    rect.Expand(child_rect.hi);
+  }
+  n.rect = rect;
+}
+
+void RTree::AdjustUpward(int node) {
+  while (node >= 0) {
+    RecomputeRect(node);
+    node = nodes_[static_cast<std::size_t>(node)].parent;
+  }
+}
+
+void RTree::SplitNode(int node) {
+  QCLUSTER_CHECK(
+      static_cast<int>(nodes_[static_cast<std::size_t>(node)].children.size()) >
+      options_.max_entries);
+  // Copies up front: AllocateNode below may reallocate nodes_, so no
+  // reference into it can be held across that call.
+  const bool is_leaf = nodes_[static_cast<std::size_t>(node)].leaf;
+  const std::vector<int> entries =
+      nodes_[static_cast<std::size_t>(node)].children;
+
+  // Quadratic split: pick the pair of entries wasting the most area
+  // together as seeds, then assign the rest greedily.
+  auto entry_rect = [this, is_leaf](int child) {
+    return is_leaf ? PointRect(child)
+                   : nodes_[static_cast<std::size_t>(child)].rect;
+  };
+  int seed_a = 0, seed_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      Rect merged = entry_rect(entries[i]);
+      const Rect rj = entry_rect(entries[j]);
+      merged.Expand(rj.lo);
+      merged.Expand(rj.hi);
+      const double waste = Area(merged) - Area(entry_rect(entries[i])) -
+                           Area(rj);
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = static_cast<int>(i);
+        seed_b = static_cast<int>(j);
+      }
+    }
+  }
+
+  const int sibling = AllocateNode();
+  Node& n2 = nodes_[static_cast<std::size_t>(node)];  // Re-fetch (realloc).
+  Node& s = nodes_[static_cast<std::size_t>(sibling)];
+  s.leaf = n2.leaf;
+  s.parent = n2.parent;
+
+  std::vector<int> group_a{entries[static_cast<std::size_t>(seed_a)]};
+  std::vector<int> group_b{entries[static_cast<std::size_t>(seed_b)]};
+  Rect rect_a = entry_rect(group_a[0]);
+  Rect rect_b = entry_rect(group_b[0]);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (static_cast<int>(i) == seed_a || static_cast<int>(i) == seed_b) {
+      continue;
+    }
+    const int entry = entries[i];
+    const std::size_t remaining = entries.size() - group_a.size() -
+                                  group_b.size() - 1;
+    // Force assignment when one group must take all remaining entries to
+    // reach the minimum.
+    if (group_a.size() + remaining + 1 ==
+        static_cast<std::size_t>(options_.min_entries)) {
+      group_a.push_back(entry);
+      const Rect r = entry_rect(entry);
+      rect_a.Expand(r.lo);
+      rect_a.Expand(r.hi);
+      continue;
+    }
+    if (group_b.size() + remaining + 1 ==
+        static_cast<std::size_t>(options_.min_entries)) {
+      group_b.push_back(entry);
+      const Rect r = entry_rect(entry);
+      rect_b.Expand(r.lo);
+      rect_b.Expand(r.hi);
+      continue;
+    }
+    const double grow_a = Enlargement(rect_a, entry_rect(entry));
+    const double grow_b = Enlargement(rect_b, entry_rect(entry));
+    if (grow_a < grow_b || (grow_a == grow_b &&
+                            group_a.size() <= group_b.size())) {
+      group_a.push_back(entry);
+      const Rect r = entry_rect(entry);
+      rect_a.Expand(r.lo);
+      rect_a.Expand(r.hi);
+    } else {
+      group_b.push_back(entry);
+      const Rect r = entry_rect(entry);
+      rect_b.Expand(r.lo);
+      rect_b.Expand(r.hi);
+    }
+  }
+
+  n2.children = std::move(group_a);
+  s.children = std::move(group_b);
+  if (!s.leaf) {
+    for (int child : s.children) {
+      nodes_[static_cast<std::size_t>(child)].parent = sibling;
+    }
+  }
+  RecomputeRect(node);
+  RecomputeRect(sibling);
+
+  if (n2.parent < 0) {
+    // Grow a new root.
+    const int new_root = AllocateNode();
+    Node& root = nodes_[static_cast<std::size_t>(new_root)];
+    root.leaf = false;
+    root.children = {node, sibling};
+    nodes_[static_cast<std::size_t>(node)].parent = new_root;
+    nodes_[static_cast<std::size_t>(sibling)].parent = new_root;
+    RecomputeRect(new_root);
+    root_ = new_root;
+    return;
+  }
+  Node& parent = nodes_[static_cast<std::size_t>(n2.parent)];
+  parent.children.push_back(sibling);
+  if (static_cast<int>(parent.children.size()) > options_.max_entries) {
+    SplitNode(n2.parent);
+  } else {
+    AdjustUpward(n2.parent);
+  }
+}
+
+void RTree::Insert(int id) {
+  QCLUSTER_CHECK(0 <= id && id < static_cast<int>(points_->size()));
+  if (root_ < 0) {
+    root_ = AllocateNode();
+    Node& root = nodes_[static_cast<std::size_t>(root_)];
+    root.leaf = true;
+    root.children.push_back(id);
+    root.rect = PointRect(id);
+    ++count_;
+    return;
+  }
+  const int leaf = ChooseLeaf(PointRect(id));
+  nodes_[static_cast<std::size_t>(leaf)].children.push_back(id);
+  ++count_;
+  if (static_cast<int>(nodes_[static_cast<std::size_t>(leaf)].children.size()) >
+      options_.max_entries) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf);
+  }
+}
+
+int RTree::FindLeaf(int node, int id) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Rect target = PointRect(id);
+  if (n.rect.SquaredEuclideanDistance(target.lo) > 0.0) return -1;
+  if (n.leaf) {
+    for (int child : n.children) {
+      if (child == id) return node;
+    }
+    return -1;
+  }
+  for (int child : n.children) {
+    const int found = FindLeaf(child, id);
+    if (found >= 0) return found;
+  }
+  return -1;
+}
+
+bool RTree::Remove(int id) {
+  if (root_ < 0) return false;
+  QCLUSTER_CHECK(0 <= id && id < static_cast<int>(points_->size()));
+  const int leaf = FindLeaf(root_, id);
+  if (leaf < 0) return false;
+
+  Node& n = nodes_[static_cast<std::size_t>(leaf)];
+  n.children.erase(std::find(n.children.begin(), n.children.end(), id));
+  --count_;
+
+  // CondenseTree: dissolve underflowing nodes upward, collecting orphaned
+  // point ids for reinsertion.
+  std::vector<int> orphans;
+  int node = leaf;
+  while (node != root_) {
+    Node& current = nodes_[static_cast<std::size_t>(node)];
+    const int parent = current.parent;
+    if (static_cast<int>(current.children.size()) < options_.min_entries) {
+      // Collect every point beneath this node, then delete it.
+      std::vector<int> stack{node};
+      while (!stack.empty()) {
+        const int top = stack.back();
+        stack.pop_back();
+        Node& t = nodes_[static_cast<std::size_t>(top)];
+        if (t.leaf) {
+          orphans.insert(orphans.end(), t.children.begin(), t.children.end());
+        } else {
+          stack.insert(stack.end(), t.children.begin(), t.children.end());
+        }
+        if (top != node) ReleaseNode(top);
+      }
+      Node& p = nodes_[static_cast<std::size_t>(parent)];
+      p.children.erase(
+          std::find(p.children.begin(), p.children.end(), node));
+      ReleaseNode(node);
+    } else {
+      RecomputeRect(node);
+    }
+    node = parent;
+  }
+  if (count_ - static_cast<int>(orphans.size()) == 0 &&
+      nodes_[static_cast<std::size_t>(root_)].children.empty()) {
+    ReleaseNode(root_);
+    root_ = -1;
+  } else if (root_ >= 0) {
+    Node& root = nodes_[static_cast<std::size_t>(root_)];
+    if (root.children.empty()) {
+      ReleaseNode(root_);
+      root_ = -1;
+    } else {
+      RecomputeRect(root_);
+      // Shrink the root when it has a single internal child.
+      while (root_ >= 0 &&
+             !nodes_[static_cast<std::size_t>(root_)].leaf &&
+             nodes_[static_cast<std::size_t>(root_)].children.size() == 1) {
+        const int only = nodes_[static_cast<std::size_t>(root_)].children[0];
+        ReleaseNode(root_);
+        root_ = only;
+        nodes_[static_cast<std::size_t>(root_)].parent = -1;
+      }
+    }
+  }
+
+  count_ -= static_cast<int>(orphans.size());
+  for (int orphan : orphans) Insert(orphan);
+  return true;
+}
+
+std::vector<Neighbor> RTree::Search(const DistanceFunction& dist, int k,
+                                    SearchStats* stats) const {
+  QCLUSTER_CHECK(k > 0);
+  if (root_ < 0) return {};
+
+  const auto neighbor_cmp = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>,
+                      decltype(neighbor_cmp)>
+      best(neighbor_cmp);
+  auto kth_bound = [&] {
+    return static_cast<int>(best.size()) < k
+               ? std::numeric_limits<double>::infinity()
+               : best.top().distance;
+  };
+
+  struct Entry {
+    double bound;
+    int node;
+  };
+  const auto entry_cmp = [](const Entry& a, const Entry& b) {
+    return a.bound > b.bound;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(entry_cmp)>
+      frontier(entry_cmp);
+  frontier.push(Entry{
+      dist.MinDistance(nodes_[static_cast<std::size_t>(root_)].rect), root_});
+
+  while (!frontier.empty()) {
+    const Entry entry = frontier.top();
+    frontier.pop();
+    if (entry.bound > kth_bound()) break;
+    const Node& node = nodes_[static_cast<std::size_t>(entry.node)];
+    if (stats != nullptr) ++stats->nodes_visited;
+    if (node.leaf) {
+      if (stats != nullptr) ++stats->leaves_visited;
+      for (int id : node.children) {
+        const double d =
+            dist.Distance((*points_)[static_cast<std::size_t>(id)]);
+        if (stats != nullptr) ++stats->distance_evaluations;
+        if (static_cast<int>(best.size()) < k) {
+          best.push(Neighbor{id, d});
+        } else if (d < best.top().distance ||
+                   (d == best.top().distance && id < best.top().id)) {
+          best.pop();
+          best.push(Neighbor{id, d});
+        }
+      }
+    } else {
+      for (int child : node.children) {
+        const double bound = dist.MinDistance(
+            nodes_[static_cast<std::size_t>(child)].rect);
+        if (bound <= kth_bound()) frontier.push(Entry{bound, child});
+      }
+    }
+  }
+
+  std::vector<Neighbor> result(best.size());
+  for (std::size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+bool RTree::CheckInvariants() const {
+  if (root_ < 0) return count_ == 0;
+  std::vector<int> stack{root_};
+  int seen_points = 0;
+  while (!stack.empty()) {
+    const int index = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(index)];
+    if (n.children.empty()) return false;
+    if (index != root_ &&
+        static_cast<int>(n.children.size()) < options_.min_entries) {
+      return false;
+    }
+    if (static_cast<int>(n.children.size()) > options_.max_entries) {
+      return false;
+    }
+    for (int child : n.children) {
+      const Rect child_rect =
+          n.leaf ? PointRect(child)
+                 : nodes_[static_cast<std::size_t>(child)].rect;
+      // Containment: the child's rect must lie inside the parent's.
+      for (std::size_t d = 0; d < child_rect.lo.size(); ++d) {
+        if (child_rect.lo[d] < n.rect.lo[d] - 1e-12 ||
+            child_rect.hi[d] > n.rect.hi[d] + 1e-12) {
+          return false;
+        }
+      }
+      if (n.leaf) {
+        ++seen_points;
+      } else {
+        if (nodes_[static_cast<std::size_t>(child)].parent != index) {
+          return false;
+        }
+        stack.push_back(child);
+      }
+    }
+  }
+  return seen_points == count_;
+}
+
+}  // namespace qcluster::index

@@ -1,0 +1,84 @@
+#ifndef QCLUSTER_INDEX_R_TREE_H_
+#define QCLUSTER_INDEX_R_TREE_H_
+
+#include <vector>
+
+#include "index/knn.h"
+
+namespace qcluster::index {
+
+/// A dynamic R-tree (Guttman's original, quadratic split) over externally
+/// owned points: unlike the bulk-loaded BrTree, images can be inserted and
+/// removed while queries keep running — the live-collection scenario a
+/// production image database faces. Search is the same best-first k-NN over
+/// bounding rectangles, so every DistanceFunction works unchanged.
+class RTree final : public KnnIndex {
+ public:
+  struct Options {
+    int max_entries = 16;  ///< Node capacity M.
+    int min_entries = 6;   ///< Underflow threshold m (reinsert below this).
+  };
+
+  /// Creates an empty tree over the backing store `points`. Entries are
+  /// referenced by id (index into `points`); the caller appends to the
+  /// store and calls Insert with the new id.
+  RTree(const std::vector<linalg::Vector>* points, const Options& options);
+  explicit RTree(const std::vector<linalg::Vector>* points)
+      : RTree(points, Options{}) {}
+
+  /// Inserts point `id` (must be a valid index into the backing store and
+  /// not currently in the tree).
+  void Insert(int id);
+
+  /// Removes point `id`; returns false when the id is not in the tree.
+  /// Underflowing leaves are dissolved and their remaining entries
+  /// reinserted (Guttman's CondenseTree).
+  bool Remove(int id);
+
+  /// Number of points currently indexed (not the backing-store size).
+  int size() const override { return count_; }
+
+  std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
+                               SearchStats* stats = nullptr) const override;
+
+  /// Validates the tree invariants (bounding containment, entry counts);
+  /// for tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    Rect rect;
+    bool leaf = true;
+    std::vector<int> children;  ///< Node indices (internal) or ids (leaf).
+    int parent = -1;
+  };
+
+  int dim() const;
+  Rect PointRect(int id) const;
+  /// Descends from the root picking the child needing least enlargement.
+  int ChooseLeaf(const Rect& rect) const;
+  /// Recomputes `node`'s rect from its children.
+  void RecomputeRect(int node);
+  /// Propagates rect updates to the root.
+  void AdjustUpward(int node);
+  /// Splits an overfull node (quadratic split); may recurse to the root.
+  void SplitNode(int node);
+  /// Returns the leaf containing `id`, or -1.
+  int FindLeaf(int node, int id) const;
+  double Enlargement(const Rect& rect, const Rect& add) const;
+  double Area(const Rect& rect) const;
+
+  const std::vector<linalg::Vector>* points_;
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<int> free_list_;  ///< Recycled node slots.
+  int root_ = -1;
+  int count_ = 0;
+
+  int AllocateNode();
+  void ReleaseNode(int node);
+};
+
+}  // namespace qcluster::index
+
+#endif  // QCLUSTER_INDEX_R_TREE_H_

@@ -1,0 +1,113 @@
+#include "index/va_file.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "index/linear_scan.h"
+
+namespace qcluster::index {
+
+using linalg::Vector;
+
+VaFile::VaFile(const std::vector<Vector>* points, const Options& options)
+    : points_(points), bits_(options.bits_per_dim) {
+  QCLUSTER_CHECK(points != nullptr);
+  QCLUSTER_CHECK(1 <= bits_ && bits_ <= 8);
+  levels_ = 1 << bits_;
+  if (points_->empty()) return;
+
+  const std::size_t dim = points_->front().size();
+  lo_.assign(dim, std::numeric_limits<double>::infinity());
+  Vector hi(dim, -std::numeric_limits<double>::infinity());
+  for (const Vector& p : *points_) {
+    QCLUSTER_CHECK(p.size() == dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      lo_[d] = std::min(lo_[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  step_.assign(dim, 0.0);
+  for (std::size_t d = 0; d < dim; ++d) {
+    // A tiny positive width keeps degenerate dimensions well defined.
+    step_[d] = std::max((hi[d] - lo_[d]) / levels_, 1e-12);
+  }
+
+  cells_.resize(points_->size() * dim);
+  for (std::size_t i = 0; i < points_->size(); ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double t = ((*points_)[i][d] - lo_[d]) / step_[d];
+      const int cell = std::clamp(static_cast<int>(t), 0, levels_ - 1);
+      cells_[i * dim + d] = static_cast<std::uint8_t>(cell);
+    }
+  }
+}
+
+Rect VaFile::CellRect(int i) const {
+  const std::size_t dim = lo_.size();
+  Rect rect;
+  rect.lo.resize(dim);
+  rect.hi.resize(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    const int cell = cells_[static_cast<std::size_t>(i) * dim + d];
+    rect.lo[d] = lo_[d] + cell * step_[d];
+    rect.hi[d] = rect.lo[d] + step_[d];
+  }
+  return rect;
+}
+
+std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
+                                     SearchStats* stats) const {
+  QCLUSTER_CHECK(k > 0);
+  if (points_->empty()) return {};
+
+  // Phase 1: lower bound per point from its cell rectangle.
+  struct Candidate {
+    double bound;
+    int id;
+  };
+  std::vector<Candidate> candidates(points_->size());
+  for (std::size_t i = 0; i < points_->size(); ++i) {
+    candidates[i] = {dist.MinDistance(CellRect(static_cast<int>(i))),
+                     static_cast<int>(i)};
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.bound != b.bound) return a.bound < b.bound;
+              return a.id < b.id;
+            });
+
+  // Phase 2 (VA-SSA): visit by increasing bound; stop once the bound
+  // exceeds the current k-th exact distance.
+  const auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> best(
+      cmp);
+  for (const Candidate& c : candidates) {
+    if (static_cast<int>(best.size()) >= k && c.bound > best.top().distance) {
+      break;
+    }
+    const double d =
+        dist.Distance((*points_)[static_cast<std::size_t>(c.id)]);
+    if (stats != nullptr) ++stats->distance_evaluations;
+    if (static_cast<int>(best.size()) < k) {
+      best.push(Neighbor{c.id, d});
+    } else if (d < best.top().distance ||
+               (d == best.top().distance && c.id < best.top().id)) {
+      best.pop();
+      best.push(Neighbor{c.id, d});
+    }
+  }
+
+  std::vector<Neighbor> result(best.size());
+  for (std::size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+}  // namespace qcluster::index

@@ -1,0 +1,56 @@
+#ifndef QCLUSTER_INDEX_VA_FILE_H_
+#define QCLUSTER_INDEX_VA_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/knn.h"
+
+namespace qcluster::index {
+
+/// A vector-approximation file (Weber et al.'s VA-file), the classic
+/// alternative to tree indexes for higher-dimensional feature spaces:
+/// every vector is quantized to a few bits per dimension, a query scans
+/// the compact approximations computing cell-level lower bounds, and only
+/// the candidates whose bound beats the current k-th exact distance are
+/// fetched and evaluated exactly (the VA-SSA search strategy).
+///
+/// Works with any `DistanceFunction` through its rectangle lower bound, so
+/// the disjunctive multipoint metric is supported unchanged.
+class VaFile final : public KnnIndex {
+ public:
+  struct Options {
+    /// Bits per dimension (2^bits grid cells); 4-6 are typical.
+    int bits_per_dim = 4;
+  };
+
+  /// Builds the approximation file over `points` (kept alive by the
+  /// caller). The grid is equi-width over each dimension's observed range.
+  VaFile(const std::vector<linalg::Vector>* points, const Options& options);
+  explicit VaFile(const std::vector<linalg::Vector>* points)
+      : VaFile(points, Options{}) {}
+
+  int size() const override { return static_cast<int>(points_->size()); }
+
+  std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
+                               SearchStats* stats = nullptr) const override;
+
+  /// Bytes used by the approximation array (for compression reporting).
+  std::size_t approximation_bytes() const { return cells_.size(); }
+
+ private:
+  /// Returns the bounding rectangle of point i's grid cell.
+  Rect CellRect(int i) const;
+
+  const std::vector<linalg::Vector>* points_;
+  int bits_;
+  int levels_;
+  linalg::Vector lo_;      ///< Per-dimension grid origin.
+  linalg::Vector step_;    ///< Per-dimension cell width (>= tiny epsilon).
+  /// Quantized coordinates, one byte per dimension per point (bits <= 8).
+  std::vector<std::uint8_t> cells_;
+};
+
+}  // namespace qcluster::index
+
+#endif  // QCLUSTER_INDEX_VA_FILE_H_

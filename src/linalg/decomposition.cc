@@ -1,0 +1,166 @@
+#include "linalg/decomposition.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qcluster::linalg {
+
+Vector CholeskyFactor::Solve(const Vector& b) const {
+  const int n = l.rows();
+  QCLUSTER_CHECK(static_cast<int>(b.size()) == n);
+  // Forward substitution: L y = b.
+  Vector y(b);
+  for (int i = 0; i < n; ++i) {
+    double sum = y[static_cast<std::size_t>(i)];
+    for (int j = 0; j < i; ++j) sum -= l(i, j) * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = sum / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = y[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) sum -= l(j, i) * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = sum / l(i, i);
+  }
+  return y;
+}
+
+double CholeskyFactor::LogDeterminant() const {
+  double sum = 0.0;
+  for (int i = 0; i < l.rows(); ++i) sum += std::log(l(i, i));
+  return 2.0 * sum;
+}
+
+Result<CholeskyFactor> Cholesky(const Matrix& a) {
+  QCLUSTER_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::SingularMatrix(
+          "matrix is not numerically positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return CholeskyFactor{std::move(l)};
+}
+
+Vector LuFactor::Solve(const Vector& b) const {
+  const int n = lu.rows();
+  QCLUSTER_CHECK(static_cast<int>(b.size()) == n);
+  Vector x(static_cast<std::size_t>(n));
+  // Apply permutation and forward substitution with unit-diagonal L.
+  for (int i = 0; i < n; ++i) {
+    double sum = b[static_cast<std::size_t>(piv[static_cast<std::size_t>(i)])];
+    for (int j = 0; j < i; ++j) sum -= lu(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum;
+  }
+  // Back substitution with U.
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = x[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) sum -= lu(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum / lu(i, i);
+  }
+  return x;
+}
+
+double LuFactor::Determinant() const {
+  double det = sign;
+  for (int i = 0; i < lu.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+Result<LuFactor> Lu(const Matrix& a) {
+  QCLUSTER_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  LuFactor f;
+  f.lu = a;
+  f.piv.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) f.piv[static_cast<std::size_t>(i)] = i;
+  f.sign = 1;
+
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest remaining entry in this column.
+    int pivot_row = col;
+    double best = std::abs(f.lu(col, col));
+    for (int r = col + 1; r < n; ++r) {
+      const double v = std::abs(f.lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot_row = r;
+      }
+    }
+    if (best < 1e-300 || !std::isfinite(best)) {
+      return Status::SingularMatrix("zero pivot in LU factorization");
+    }
+    if (pivot_row != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(f.lu(col, c), f.lu(pivot_row, c));
+      }
+      std::swap(f.piv[static_cast<std::size_t>(col)],
+                f.piv[static_cast<std::size_t>(pivot_row)]);
+      f.sign = -f.sign;
+    }
+    const double pivot = f.lu(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = f.lu(r, col) / pivot;
+      f.lu(r, col) = factor;
+      for (int c = col + 1; c < n; ++c) {
+        f.lu(r, c) -= factor * f.lu(col, c);
+      }
+    }
+  }
+  return f;
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  Result<LuFactor> lu = Lu(a);
+  if (!lu.ok()) return lu.status();
+  const int n = a.rows();
+  Matrix inv(n, n);
+  Vector e(static_cast<std::size_t>(n), 0.0);
+  for (int c = 0; c < n; ++c) {
+    e[static_cast<std::size_t>(c)] = 1.0;
+    const Vector col = lu.value().Solve(e);
+    for (int r = 0; r < n; ++r) inv(r, c) = col[static_cast<std::size_t>(r)];
+    e[static_cast<std::size_t>(c)] = 0.0;
+  }
+  return inv;
+}
+
+Result<Matrix> InverseSpd(const Matrix& a) {
+  Result<CholeskyFactor> chol = Cholesky(a);
+  if (!chol.ok()) return Inverse(a);
+  const int n = a.rows();
+  Matrix inv(n, n);
+  Vector e(static_cast<std::size_t>(n), 0.0);
+  for (int c = 0; c < n; ++c) {
+    e[static_cast<std::size_t>(c)] = 1.0;
+    const Vector col = chol.value().Solve(e);
+    for (int r = 0; r < n; ++r) inv(r, c) = col[static_cast<std::size_t>(r)];
+    e[static_cast<std::size_t>(c)] = 0.0;
+  }
+  return inv;
+}
+
+double Determinant(const Matrix& a) {
+  Result<LuFactor> lu = Lu(a);
+  if (!lu.ok()) return 0.0;
+  return lu.value().Determinant();
+}
+
+Result<Vector> Solve(const Matrix& a, const Vector& b) {
+  Result<LuFactor> lu = Lu(a);
+  if (!lu.ok()) return lu.status();
+  return lu.value().Solve(b);
+}
+
+}  // namespace qcluster::linalg

@@ -1,0 +1,59 @@
+#ifndef QCLUSTER_LINALG_DECOMPOSITION_H_
+#define QCLUSTER_LINALG_DECOMPOSITION_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace qcluster::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive definite matrix:
+/// A = L * L^T.
+struct CholeskyFactor {
+  Matrix l;
+
+  /// Solves L L^T x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Returns the log-determinant of A, 2 * sum(log L_ii).
+  double LogDeterminant() const;
+};
+
+/// Computes the Cholesky factorization of a symmetric positive definite
+/// matrix. Fails with kSingularMatrix when the matrix is not (numerically)
+/// positive definite.
+Result<CholeskyFactor> Cholesky(const Matrix& a);
+
+/// LU factorization with partial pivoting: P A = L U packed in one matrix.
+struct LuFactor {
+  Matrix lu;             ///< L (unit diagonal, below) and U (on/above).
+  std::vector<int> piv;  ///< Row permutation.
+  int sign = 1;          ///< Permutation sign, for the determinant.
+
+  /// Solves A x = b using the factorization.
+  Vector Solve(const Vector& b) const;
+
+  /// Returns det(A).
+  double Determinant() const;
+};
+
+/// Computes an LU factorization of a square matrix. Fails with
+/// kSingularMatrix when a pivot underflows.
+Result<LuFactor> Lu(const Matrix& a);
+
+/// Returns the inverse of a square matrix, or kSingularMatrix.
+Result<Matrix> Inverse(const Matrix& a);
+
+/// Returns the inverse of a symmetric positive definite matrix via Cholesky;
+/// falls back to LU when the Cholesky factorization fails, and reports
+/// kSingularMatrix when both fail.
+Result<Matrix> InverseSpd(const Matrix& a);
+
+/// Returns the determinant of a square matrix (0 for singular input).
+double Determinant(const Matrix& a);
+
+/// Solves A x = b for square A, or kSingularMatrix.
+Result<Vector> Solve(const Matrix& a, const Vector& b);
+
+}  // namespace qcluster::linalg
+
+#endif  // QCLUSTER_LINALG_DECOMPOSITION_H_

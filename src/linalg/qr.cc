@@ -1,0 +1,66 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qcluster::linalg {
+
+Vector QrFactor::SolveLeastSquares(const Vector& b) const {
+  QCLUSTER_CHECK(static_cast<int>(b.size()) == q.rows());
+  const Vector qtb = q.TransposedMatVec(b);
+  // Back substitution with R.
+  const int n = r.cols();
+  Vector x(qtb);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = x[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) {
+      sum -= r(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    x[static_cast<std::size_t>(i)] = sum / r(i, i);
+  }
+  return x;
+}
+
+Result<QrFactor> Qr(const Matrix& a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  QCLUSTER_CHECK_MSG(m >= n, "thin QR requires rows >= cols");
+
+  // Modified Gram-Schmidt: numerically adequate for the well-scaled,
+  // low-dimensional systems this library solves, and much simpler to audit
+  // than accumulating Householder reflectors.
+  Matrix q(m, n);
+  Matrix r(n, n, 0.0);
+  std::vector<Vector> columns;
+  columns.reserve(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) columns.push_back(a.Col(c));
+
+  for (int c = 0; c < n; ++c) {
+    Vector v = columns[static_cast<std::size_t>(c)];
+    for (int prev = 0; prev < c; ++prev) {
+      const Vector qprev = q.Col(prev);
+      const double proj = Dot(qprev, v);
+      r(prev, c) = proj;
+      Axpy(-proj, qprev, v);
+    }
+    const double norm = Norm(v);
+    const double col_scale = Norm(columns[static_cast<std::size_t>(c)]);
+    if (norm <= 1e-12 * (1.0 + col_scale)) {
+      return Status::SingularMatrix("rank-deficient matrix in QR");
+    }
+    r(c, c) = norm;
+    for (int row = 0; row < m; ++row) {
+      q(row, c) = v[static_cast<std::size_t>(row)] / norm;
+    }
+  }
+  return QrFactor{std::move(q), std::move(r)};
+}
+
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b) {
+  Result<QrFactor> qr = Qr(a);
+  if (!qr.ok()) return qr.status();
+  return qr.value().SolveLeastSquares(b);
+}
+
+}  // namespace qcluster::linalg

@@ -1,0 +1,30 @@
+#ifndef QCLUSTER_LINALG_QR_H_
+#define QCLUSTER_LINALG_QR_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace qcluster::linalg {
+
+/// Householder QR factorization of an m x n matrix (m >= n): A = Q R with
+/// Q m x n orthonormal columns ("thin" Q) and R n x n upper triangular.
+struct QrFactor {
+  Matrix q;  ///< m x n, orthonormal columns.
+  Matrix r;  ///< n x n, upper triangular.
+
+  /// Solves the least-squares problem min ||A x − b||₂ via R x = Qᵀ b.
+  Vector SolveLeastSquares(const Vector& b) const;
+};
+
+/// Computes the thin QR factorization. Fails with kSingularMatrix when a
+/// column is (numerically) linearly dependent on the previous ones, i.e.
+/// rank(A) < n.
+Result<QrFactor> Qr(const Matrix& a);
+
+/// Convenience: least-squares solution of an overdetermined system, or
+/// kSingularMatrix for rank-deficient A.
+Result<Vector> LeastSquares(const Matrix& a, const Vector& b);
+
+}  // namespace qcluster::linalg
+
+#endif  // QCLUSTER_LINALG_QR_H_

@@ -1,0 +1,67 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qcluster::linalg {
+
+double Dot(const Vector& a, const Vector& b) {
+  QCLUSTER_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const Vector& a) { return std::sqrt(SquaredNorm(a)); }
+
+double SquaredNorm(const Vector& a) { return Dot(a, a); }
+
+double Distance(const Vector& a, const Vector& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  QCLUSTER_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  QCLUSTER_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  QCLUSTER_CHECK(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = s * a[i];
+  return out;
+}
+
+void Axpy(double s, const Vector& x, Vector& y) {
+  QCLUSTER_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += s * x[i];
+}
+
+bool AllClose(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace qcluster::linalg

@@ -1,0 +1,46 @@
+#ifndef QCLUSTER_LINALG_VECTOR_H_
+#define QCLUSTER_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qcluster::linalg {
+
+/// Feature vectors are plain contiguous arrays of doubles. The library
+/// deliberately uses a type alias rather than a wrapper class so vectors
+/// interoperate directly with STL algorithms and user code.
+using Vector = std::vector<double>;
+
+/// Returns the dot product of `a` and `b`. Requires equal sizes.
+double Dot(const Vector& a, const Vector& b);
+
+/// Returns the Euclidean norm of `a`.
+double Norm(const Vector& a);
+
+/// Returns the squared Euclidean norm of `a`.
+double SquaredNorm(const Vector& a);
+
+/// Returns the Euclidean distance between `a` and `b`.
+double Distance(const Vector& a, const Vector& b);
+
+/// Returns the squared Euclidean distance between `a` and `b`.
+double SquaredDistance(const Vector& a, const Vector& b);
+
+/// Returns `a + b` element-wise. Requires equal sizes.
+Vector Add(const Vector& a, const Vector& b);
+
+/// Returns `a - b` element-wise. Requires equal sizes.
+Vector Sub(const Vector& a, const Vector& b);
+
+/// Returns `s * a`.
+Vector Scale(const Vector& a, double s);
+
+/// Computes `y += s * x` in place. Requires equal sizes.
+void Axpy(double s, const Vector& x, Vector& y);
+
+/// Returns true if every |a_i - b_i| <= tol.
+bool AllClose(const Vector& a, const Vector& b, double tol);
+
+}  // namespace qcluster::linalg
+
+#endif  // QCLUSTER_LINALG_VECTOR_H_

@@ -1,0 +1,60 @@
+#include "stats/box_m.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/decomposition.h"
+#include "stats/distributions.h"
+
+namespace qcluster::stats {
+
+Result<BoxMTest> BoxMHomogeneityTest(
+    const std::vector<const WeightedStats*>& groups, double alpha) {
+  QCLUSTER_CHECK(groups.size() >= 2);
+  QCLUSTER_CHECK(0.0 < alpha && alpha < 1.0);
+  const int p = groups.front()->dim();
+  const int g = static_cast<int>(groups.size());
+
+  // Pooled covariance with the (Σ n_i − g) divisor and per-group log
+  // determinants.
+  linalg::Matrix pooled_scatter(p, p, 0.0);
+  double total_dof = 0.0;
+  double sum_group_terms = 0.0;
+  double sum_inv_dof = 0.0;
+  for (const WeightedStats* group : groups) {
+    QCLUSTER_CHECK(group->dim() == p);
+    const double dof = group->weight() - 1.0;
+    if (dof < p) {
+      return Status::FailedPrecondition(
+          "Box's M needs every group weight > dim + 1");
+    }
+    pooled_scatter = pooled_scatter.Add(group->scatter());
+    total_dof += dof;
+    const double det = linalg::Determinant(group->scatter().Scale(1.0 / dof));
+    if (det <= 0.0) {
+      return Status::FailedPrecondition(
+          "singular group covariance in Box's M");
+    }
+    sum_group_terms += dof * std::log(det);
+    sum_inv_dof += 1.0 / dof;
+  }
+  const linalg::Matrix pooled = pooled_scatter.Scale(1.0 / total_dof);
+  const double pooled_det = linalg::Determinant(pooled);
+  if (pooled_det <= 0.0) {
+    return Status::FailedPrecondition("singular pooled covariance in Box's M");
+  }
+
+  BoxMTest out;
+  out.m_statistic = total_dof * std::log(pooled_det) - sum_group_terms;
+  // Box's χ² scaling constant c1.
+  const double c1 = (sum_inv_dof - 1.0 / total_dof) *
+                    (2.0 * p * p + 3.0 * p - 1.0) /
+                    (6.0 * (p + 1.0) * (g - 1.0));
+  out.chi2 = (1.0 - c1) * out.m_statistic;
+  out.dof = 0.5 * p * (p + 1.0) * (g - 1.0);
+  out.p_value = 1.0 - ChiSquaredCdf(out.chi2 > 0.0 ? out.chi2 : 0.0, out.dof);
+  out.reject = out.p_value < alpha;
+  return out;
+}
+
+}  // namespace qcluster::stats

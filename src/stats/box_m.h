@@ -1,0 +1,34 @@
+#ifndef QCLUSTER_STATS_BOX_M_H_
+#define QCLUSTER_STATS_BOX_M_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/weighted_stats.h"
+
+namespace qcluster::stats {
+
+/// Result of Box's M test for homogeneity of covariance matrices.
+struct BoxMTest {
+  double m_statistic = 0.0;   ///< Box's M.
+  double chi2 = 0.0;          ///< Scaled statistic, approximately χ².
+  double dof = 0.0;           ///< Degrees of freedom of the approximation.
+  double p_value = 0.0;       ///< P(χ²_dof > chi2).
+  bool reject = false;        ///< True when covariances differ at `alpha`.
+};
+
+/// Box's M test (Johnson & Wichern [12], the paper's own reference): tests
+/// H0 "all groups share one covariance matrix" — the assumption behind the
+/// pooled covariance of the T² merge test (Sec. 4.3, "we assume that the
+/// population covariances for the two clusters are nearly equal").
+///
+///   M = (Σ(n_i−1)) ln|S_pooled| − Σ (n_i−1) ln|S_i|
+///
+/// with the Box χ² scaling. Requires every group to have more points than
+/// dimensions (else |S_i| = 0); fails with kFailedPrecondition otherwise.
+Result<BoxMTest> BoxMHomogeneityTest(
+    const std::vector<const WeightedStats*>& groups, double alpha = 0.05);
+
+}  // namespace qcluster::stats
+
+#endif  // QCLUSTER_STATS_BOX_M_H_

@@ -1,0 +1,63 @@
+#include "stats/covariance_scheme.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/decomposition.h"
+
+namespace qcluster::stats {
+
+const char* CovarianceSchemeName(CovarianceScheme scheme) {
+  switch (scheme) {
+    case CovarianceScheme::kInverse:
+      return "inverse";
+    case CovarianceScheme::kDiagonal:
+      return "diagonal";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Column-wise SPD inversion returns a numerically asymmetric matrix when
+/// the input is ill-conditioned; downstream eigen analysis needs exact
+/// symmetry.
+linalg::Matrix Symmetrized(const linalg::Matrix& m) {
+  return m.Add(m.Transposed()).Scale(0.5);
+}
+
+}  // namespace
+
+linalg::Matrix InvertCovariance(const linalg::Matrix& s,
+                                CovarianceScheme scheme,
+                                double regularization, double floor) {
+  QCLUSTER_CHECK(s.rows() == s.cols());
+  const int p = s.rows();
+  if (scheme == CovarianceScheme::kDiagonal) {
+    linalg::Vector inv_diag(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+      const double v = s(i, i);
+      inv_diag[static_cast<std::size_t>(i)] =
+          1.0 / (v > floor ? v : floor);
+    }
+    return linalg::Matrix::Diagonal(inv_diag);
+  }
+
+  Result<linalg::Matrix> inv = linalg::InverseSpd(s);
+  if (inv.ok()) return Symmetrized(inv.value());
+
+  // Singular covariance: regularize the diagonal (Sec. 3.2, citing [21])
+  // and retry before falling back to the diagonal scheme.
+  double mean_diag = 0.0;
+  for (int i = 0; i < p; ++i) mean_diag += s(i, i);
+  mean_diag = p > 0 ? mean_diag / p : 0.0;
+  linalg::Matrix ridged = s;
+  ridged.AddToDiagonal(regularization * (mean_diag > floor ? mean_diag : 1.0) +
+                       floor);
+  inv = linalg::InverseSpd(ridged);
+  if (inv.ok()) return Symmetrized(inv.value());
+  return InvertCovariance(s, CovarianceScheme::kDiagonal, regularization,
+                          floor);
+}
+
+}  // namespace qcluster::stats

@@ -1,0 +1,57 @@
+#include "stats/hotelling.h"
+
+#include "common/check.h"
+#include "stats/distributions.h"
+
+namespace qcluster::stats {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+double HotellingT2(const WeightedStats& a, const WeightedStats& b,
+                   CovarianceScheme scheme) {
+  const Matrix pooled = PooledCovariancePair(a, b);
+  const Matrix inv = InvertCovariance(pooled, scheme);
+  return HotellingT2WithInverse(a, b, inv);
+}
+
+double HotellingT2WithInverse(const WeightedStats& a, const WeightedStats& b,
+                              const Matrix& pooled_inverse) {
+  QCLUSTER_CHECK(a.dim() == b.dim());
+  const Vector diff = linalg::Sub(a.mean(), b.mean());
+  const double quad = linalg::QuadraticForm(diff, pooled_inverse, diff);
+  const double m_total = a.weight() + b.weight();
+  QCLUSTER_CHECK(m_total > 0.0);
+  return a.weight() * b.weight() / m_total * quad;
+}
+
+Result<double> HotellingCriticalDistance(double m_total, int dim,
+                                         double alpha) {
+  QCLUSTER_CHECK(dim > 0);
+  QCLUSTER_CHECK(0.0 < alpha && alpha < 1.0);
+  const double p = dim;
+  const double dof2 = m_total - p - 1.0;
+  if (dof2 <= 0.0) {
+    return Status::FailedPrecondition(
+        "Hotelling test needs m_i + m_j > p + 1");
+  }
+  const double f = FUpperQuantile(alpha, p, dof2);
+  return (m_total - 2.0) * p / dof2 * f;
+}
+
+Result<HotellingTest> TestEqualMeans(const WeightedStats& a,
+                                     const WeightedStats& b, double alpha,
+                                     CovarianceScheme scheme) {
+  const double m_total = a.weight() + b.weight();
+  Result<double> c2 = HotellingCriticalDistance(m_total, a.dim(), alpha);
+  if (!c2.ok()) return c2.status();
+  HotellingTest out;
+  out.t2 = HotellingT2(a, b, scheme);
+  out.c2 = c2.value();
+  out.reject = out.t2 > out.c2;
+  out.dof1 = a.dim();
+  out.dof2 = m_total - a.dim() - 1.0;
+  return out;
+}
+
+}  // namespace qcluster::stats

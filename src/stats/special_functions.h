@@ -1,0 +1,30 @@
+#ifndef QCLUSTER_STATS_SPECIAL_FUNCTIONS_H_
+#define QCLUSTER_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace qcluster::stats {
+
+/// Natural log of the Gamma function for x > 0 (Lanczos approximation).
+double LogGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) for a > 0, x >= 0.
+/// P(a, x) = γ(a, x) / Γ(a); the chi-square CDF is P(k/2, x/2).
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b) for a, b > 0, x in [0, 1],
+/// evaluated with the Lentz continued fraction. The F-distribution CDF is
+/// I_{d1 x / (d1 x + d2)}(d1/2, d2/2).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Standard normal cumulative distribution function.
+double StandardNormalCdf(double x);
+
+/// Standard normal quantile (inverse CDF) for p in (0, 1);
+/// Acklam's rational approximation polished with one Newton step.
+double StandardNormalQuantile(double p);
+
+}  // namespace qcluster::stats
+
+#endif  // QCLUSTER_STATS_SPECIAL_FUNCTIONS_H_

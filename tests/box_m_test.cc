@@ -1,0 +1,77 @@
+#include "stats/box_m.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qcluster::stats {
+namespace {
+
+using linalg::Vector;
+
+WeightedStats ScaledGaussianSample(int n, int dim, double scale, Rng& rng) {
+  std::vector<Vector> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back(linalg::Scale(rng.GaussianVector(dim), scale));
+  }
+  return WeightedStats::FromPoints(points);
+}
+
+TEST(BoxMTest, AcceptsEqualCovariances) {
+  Rng rng(211);
+  int rejections = 0;
+  for (int t = 0; t < 30; ++t) {
+    const WeightedStats a = ScaledGaussianSample(40, 3, 1.0, rng);
+    const WeightedStats b = ScaledGaussianSample(40, 3, 1.0, rng);
+    Result<BoxMTest> test = BoxMHomogeneityTest({&a, &b}, 0.05);
+    ASSERT_TRUE(test.ok());
+    if (test.value().reject) ++rejections;
+  }
+  // False rejection rate near alpha.
+  EXPECT_LE(rejections, 5);
+}
+
+TEST(BoxMTest, RejectsDifferentScales) {
+  Rng rng(212);
+  const WeightedStats a = ScaledGaussianSample(60, 3, 1.0, rng);
+  const WeightedStats b = ScaledGaussianSample(60, 3, 3.0, rng);
+  Result<BoxMTest> test = BoxMHomogeneityTest({&a, &b}, 0.05);
+  ASSERT_TRUE(test.ok());
+  EXPECT_TRUE(test.value().reject);
+  EXPECT_LT(test.value().p_value, 0.001);
+}
+
+TEST(BoxMTest, ThreeGroups) {
+  Rng rng(213);
+  const WeightedStats a = ScaledGaussianSample(50, 2, 1.0, rng);
+  const WeightedStats b = ScaledGaussianSample(50, 2, 1.0, rng);
+  const WeightedStats c = ScaledGaussianSample(50, 2, 4.0, rng);
+  Result<BoxMTest> test = BoxMHomogeneityTest({&a, &b, &c}, 0.05);
+  ASSERT_TRUE(test.ok());
+  EXPECT_TRUE(test.value().reject);
+  // Dof for p = 2, g = 3: p(p+1)(g-1)/2 = 6.
+  EXPECT_DOUBLE_EQ(test.value().dof, 6.0);
+}
+
+TEST(BoxMTest, StatisticNonNegativeAndGrowsWithHeterogeneity) {
+  Rng rng(214);
+  const WeightedStats base = ScaledGaussianSample(60, 2, 1.0, rng);
+  const WeightedStats mild = ScaledGaussianSample(60, 2, 1.3, rng);
+  const WeightedStats strong = ScaledGaussianSample(60, 2, 4.0, rng);
+  Result<BoxMTest> t_mild = BoxMHomogeneityTest({&base, &mild});
+  Result<BoxMTest> t_strong = BoxMHomogeneityTest({&base, &strong});
+  ASSERT_TRUE(t_mild.ok());
+  ASSERT_TRUE(t_strong.ok());
+  EXPECT_GE(t_mild.value().m_statistic, 0.0);
+  EXPECT_GT(t_strong.value().m_statistic, t_mild.value().m_statistic);
+}
+
+TEST(BoxMTest, RejectsGroupsSmallerThanDimension) {
+  Rng rng(215);
+  const WeightedStats a = ScaledGaussianSample(3, 4, 1.0, rng);
+  const WeightedStats b = ScaledGaussianSample(40, 4, 1.0, rng);
+  EXPECT_FALSE(BoxMHomogeneityTest({&a, &b}).ok());
+}
+
+}  // namespace
+}  // namespace qcluster::stats

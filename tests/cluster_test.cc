@@ -1,0 +1,127 @@
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qcluster::core {
+namespace {
+
+using linalg::AllClose;
+using linalg::Vector;
+using stats::CovarianceScheme;
+
+TEST(ClusterTest, FromPoint) {
+  const Cluster c = Cluster::FromPoint({1.0, 2.0}, 3.0);
+  EXPECT_EQ(c.size(), 1);
+  EXPECT_DOUBLE_EQ(c.weight(), 3.0);
+  EXPECT_TRUE(AllClose(c.centroid(), Vector{1.0, 2.0}, 1e-12));
+  EXPECT_EQ(c.dim(), 2);
+}
+
+TEST(ClusterTest, AddUpdatesCentroidPerEq2) {
+  Cluster c = Cluster::FromPoint({0.0}, 1.0);
+  c.Add({10.0}, 3.0);
+  EXPECT_NEAR(c.centroid()[0], 7.5, 1e-12);
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_DOUBLE_EQ(c.weight(), 4.0);
+}
+
+TEST(ClusterTest, MergedKeepsPointsAndStats) {
+  Cluster a = Cluster::FromPoint({0.0, 0.0}, 1.0);
+  a.Add({2.0, 0.0}, 1.0);
+  Cluster b = Cluster::FromPoint({10.0, 10.0}, 2.0);
+  const Cluster m = Cluster::Merged(a, b);
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_DOUBLE_EQ(m.weight(), 4.0);
+  EXPECT_EQ(m.points().size(), 3u);
+  EXPECT_EQ(m.scores().size(), 3u);
+  // Mean = (1*(0,0) + 1*(2,0) + 2*(10,10)) / 4 = (5.5, 5).
+  EXPECT_NEAR(m.centroid()[0], 5.5, 1e-12);
+  EXPECT_NEAR(m.centroid()[1], 5.0, 1e-12);
+}
+
+TEST(ClusterTest, DistanceSquaredDiagonalScheme) {
+  // Points along x: variance present in x, floored in y.
+  Cluster c = Cluster::FromPoint({0.0, 0.0}, 1.0);
+  c.Add({2.0, 0.0}, 1.0);
+  // Covariance xx: scatter 2 / (2-1) = 2; yy floored to 1.0 (min_variance).
+  const double d2 = c.DistanceSquared({1.0, 1.0}, CovarianceScheme::kDiagonal,
+                                      /*min_variance=*/1.0);
+  // x-part: (1-1)^2 / 2 = 0; y-part: 1 / 1 = 1.
+  EXPECT_NEAR(d2, 1.0, 1e-12);
+}
+
+TEST(ClusterTest, DistanceZeroAtCentroid) {
+  Cluster c = Cluster::FromPoint({3.0, 4.0}, 2.0);
+  EXPECT_NEAR(
+      c.DistanceSquared({3.0, 4.0}, CovarianceScheme::kDiagonal, 1e-4), 0.0,
+      1e-12);
+}
+
+TEST(ClusterTest, InverseCovarianceCachedAcrossCalls) {
+  Cluster c = Cluster::FromPoint({0.0, 0.0}, 1.0);
+  c.Add({1.0, 1.0}, 1.0);
+  const linalg::Matrix& first =
+      c.InverseCovariance(CovarianceScheme::kDiagonal, 1e-4);
+  const linalg::Matrix& second =
+      c.InverseCovariance(CovarianceScheme::kDiagonal, 1e-4);
+  EXPECT_EQ(&first, &second);  // Same cached object.
+}
+
+TEST(ClusterTest, CacheInvalidatedByAdd) {
+  Cluster c = Cluster::FromPoint({0.0}, 1.0);
+  c.Add({2.0}, 1.0);
+  const double before =
+      c.InverseCovariance(CovarianceScheme::kDiagonal, 1e-6)(0, 0);
+  c.Add({20.0}, 1.0);  // Much larger spread -> smaller inverse variance.
+  const double after =
+      c.InverseCovariance(CovarianceScheme::kDiagonal, 1e-6)(0, 0);
+  EXPECT_GT(before, after);
+}
+
+TEST(ClusterTest, CacheKeyedOnMinVariance) {
+  Cluster c = Cluster::FromPoint({0.0}, 1.0);
+  const double tight = c.InverseCovariance(CovarianceScheme::kDiagonal,
+                                           1e-2)(0, 0);
+  const double loose = c.InverseCovariance(CovarianceScheme::kDiagonal,
+                                           1.0)(0, 0);
+  EXPECT_NEAR(tight, 100.0, 1e-9);
+  EXPECT_NEAR(loose, 1.0, 1e-9);
+}
+
+TEST(ClusterTest, SchemesDifferForCorrelatedData) {
+  Rng rng(101);
+  Cluster c(2);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.Gaussian();
+    // Strongly correlated 2-d data.
+    c.Add({t, t + 0.1 * rng.Gaussian()}, 1.0);
+  }
+  const Vector probe{1.0, -1.0};  // Across the correlation direction.
+  const double d_inv =
+      c.DistanceSquared(probe, CovarianceScheme::kInverse, 1e-8);
+  const double d_diag =
+      c.DistanceSquared(probe, CovarianceScheme::kDiagonal, 1e-8);
+  // The inverse scheme knows (1,-1) is a low-variance direction: distance
+  // is much larger than the diagonal approximation suggests.
+  EXPECT_GT(d_inv, 2.0 * d_diag);
+}
+
+TEST(ClusterTest, MergedMatchesIncremental) {
+  Rng rng(102);
+  Cluster a(3), b(3);
+  Cluster all(3);
+  for (int i = 0; i < 20; ++i) {
+    const Vector p = rng.GaussianVector(3);
+    const double w = rng.Uniform(0.5, 2.0);
+    (i % 2 == 0 ? a : b).Add(p, w);
+    all.Add(p, w);
+  }
+  const Cluster m = Cluster::Merged(a, b);
+  EXPECT_TRUE(AllClose(m.centroid(), all.centroid(), 1e-9));
+  EXPECT_TRUE(AllClose(m.stats().scatter(), all.stats().scatter(), 1e-7));
+}
+
+}  // namespace
+}  // namespace qcluster::core

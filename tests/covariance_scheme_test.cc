@@ -1,0 +1,63 @@
+#include "stats/covariance_scheme.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/decomposition.h"
+
+namespace qcluster::stats {
+namespace {
+
+using linalg::AllClose;
+using linalg::Matrix;
+
+TEST(CovarianceSchemeTest, Names) {
+  EXPECT_STREQ(CovarianceSchemeName(CovarianceScheme::kInverse), "inverse");
+  EXPECT_STREQ(CovarianceSchemeName(CovarianceScheme::kDiagonal), "diagonal");
+}
+
+TEST(CovarianceSchemeTest, DiagonalSchemeIgnoresOffDiagonal) {
+  const Matrix s{{4.0, 3.9}, {3.9, 16.0}};
+  const Matrix inv = InvertCovariance(s, CovarianceScheme::kDiagonal);
+  EXPECT_NEAR(inv(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 1.0 / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(inv(0, 1), 0.0);
+}
+
+TEST(CovarianceSchemeTest, DiagonalSchemeFloorsTinyVariances) {
+  const Matrix s{{0.0, 0.0}, {0.0, 1.0}};
+  const Matrix inv =
+      InvertCovariance(s, CovarianceScheme::kDiagonal, 1e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(inv(0, 0), 1e12);  // 1 / floor.
+  EXPECT_DOUBLE_EQ(inv(1, 1), 1.0);
+}
+
+TEST(CovarianceSchemeTest, InverseSchemeExactForSpd) {
+  const Matrix s{{4.0, 1.0}, {1.0, 3.0}};
+  const Matrix inv = InvertCovariance(s, CovarianceScheme::kInverse);
+  EXPECT_TRUE(AllClose(s.Multiply(inv), Matrix::Identity(2), 1e-10));
+}
+
+TEST(CovarianceSchemeTest, InverseSchemeRegularizesSingular) {
+  // Rank-1 covariance: exact inversion impossible; the ridge fallback must
+  // still produce a finite SPD-ish result.
+  const Matrix s{{1.0, 1.0}, {1.0, 1.0}};
+  const Matrix inv = InvertCovariance(s, CovarianceScheme::kInverse);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_TRUE(std::isfinite(inv(r, c)));
+    }
+  }
+  // Quadratic form along the null direction (1, -1) must be positive.
+  EXPECT_GT(linalg::QuadraticForm({1.0, -1.0}, inv, {1.0, -1.0}), 0.0);
+}
+
+TEST(CovarianceSchemeTest, ZeroMatrixFallsBackToDiagonal) {
+  const Matrix s(3, 3, 0.0);
+  const Matrix inv = InvertCovariance(s, CovarianceScheme::kInverse);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(std::isfinite(inv(i, i)));
+}
+
+}  // namespace
+}  // namespace qcluster::stats

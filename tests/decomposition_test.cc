@@ -1,0 +1,118 @@
+#include "linalg/decomposition.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qcluster::linalg {
+namespace {
+
+Matrix RandomSpd(int n, Rng& rng) {
+  // A A^T + n I is comfortably positive definite.
+  Matrix a(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) a(r, c) = rng.Gaussian();
+  }
+  Matrix spd = a.Multiply(a.Transposed());
+  spd.AddToDiagonal(static_cast<double>(n));
+  return spd;
+}
+
+TEST(CholeskyTest, FactorizesKnownMatrix) {
+  const Matrix a{{4, 2}, {2, 3}};
+  Result<CholeskyFactor> f = Cholesky(a);
+  ASSERT_TRUE(f.ok());
+  const Matrix& l = f.value().l;
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+  // Reconstruction: L L^T == A.
+  EXPECT_TRUE(AllClose(l.Multiply(l.Transposed()), a, 1e-12));
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  EXPECT_FALSE(Cholesky(Matrix{{1, 2}, {2, 1}}).ok());   // Indefinite.
+  EXPECT_FALSE(Cholesky(Matrix{{0, 0}, {0, 0}}).ok());   // Singular.
+}
+
+TEST(CholeskyTest, SolveRoundTrip) {
+  Rng rng(21);
+  for (int n : {1, 2, 5, 10}) {
+    const Matrix a = RandomSpd(n, rng);
+    const Vector x_true = rng.GaussianVector(n);
+    const Vector b = a.MatVec(x_true);
+    Result<CholeskyFactor> f = Cholesky(a);
+    ASSERT_TRUE(f.ok());
+    EXPECT_TRUE(AllClose(f.value().Solve(b), x_true, 1e-8));
+  }
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesLu) {
+  Rng rng(22);
+  const Matrix a = RandomSpd(6, rng);
+  Result<CholeskyFactor> f = Cholesky(a);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(f.value().LogDeterminant(), std::log(Determinant(a)), 1e-8);
+}
+
+TEST(LuTest, SolveRoundTrip) {
+  Rng rng(23);
+  for (int n : {1, 3, 8}) {
+    Matrix a(n, n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) a(r, c) = rng.Gaussian();
+    }
+    const Vector x_true = rng.GaussianVector(n);
+    const Vector b = a.MatVec(x_true);
+    Result<LuFactor> f = Lu(a);
+    ASSERT_TRUE(f.ok());
+    EXPECT_TRUE(AllClose(f.value().Solve(b), x_true, 1e-7));
+  }
+}
+
+TEST(LuTest, DeterminantKnownValues) {
+  EXPECT_NEAR(Determinant(Matrix{{1, 2}, {3, 4}}), -2.0, 1e-12);
+  EXPECT_NEAR(Determinant(Matrix::Identity(4)), 1.0, 1e-12);
+  EXPECT_NEAR(Determinant(Matrix{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}), 24.0,
+              1e-12);
+}
+
+TEST(LuTest, SingularMatrixReported) {
+  EXPECT_FALSE(Lu(Matrix{{1, 2}, {2, 4}}).ok());
+  EXPECT_DOUBLE_EQ(Determinant(Matrix{{1, 2}, {2, 4}}), 0.0);
+}
+
+TEST(InverseTest, KnownInverse) {
+  Result<Matrix> inv = Inverse(Matrix{{4, 7}, {2, 6}});
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(
+      AllClose(inv.value(), Matrix{{0.6, -0.7}, {-0.2, 0.4}}, 1e-12));
+}
+
+TEST(InverseTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(24);
+  for (int n : {2, 5, 9}) {
+    const Matrix a = RandomSpd(n, rng);
+    Result<Matrix> inv = Inverse(a);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_TRUE(AllClose(a.Multiply(inv.value()), Matrix::Identity(n), 1e-8));
+    Result<Matrix> inv_spd = InverseSpd(a);
+    ASSERT_TRUE(inv_spd.ok());
+    EXPECT_TRUE(AllClose(inv.value(), inv_spd.value(), 1e-8));
+  }
+}
+
+TEST(InverseTest, SingularReportsError) {
+  EXPECT_FALSE(Inverse(Matrix{{1, 1}, {1, 1}}).ok());
+}
+
+TEST(SolveTest, MatchesManualSolution) {
+  Result<Vector> x = Solve(Matrix{{2, 0}, {0, 4}}, {6, 8});
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AllClose(x.value(), Vector{3, 2}, 1e-12));
+}
+
+}  // namespace
+}  // namespace qcluster::linalg

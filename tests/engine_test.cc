@@ -1,0 +1,224 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/linear_scan.h"
+
+namespace qcluster::core {
+namespace {
+
+using linalg::Vector;
+
+/// A bimodal "category": half its members near (0,0), half near (4,4),
+/// plus background noise everywhere — the disjoint-cluster query situation
+/// of Example 1. The modes sit close enough that the *initial* Euclidean
+/// k-NN surfaces members of both (as in the paper's Example 2, where the
+/// 10 retrieved relevant images already form two clusters), while the
+/// background between them is dense enough that a single convex contour
+/// wastes most of its volume on noise.
+struct BimodalWorld {
+  std::vector<Vector> points;
+  std::vector<int> relevant_ids;  // Ground truth of the target concept.
+
+  explicit BimodalWorld(Rng& rng, int relevant_per_mode = 30,
+                        int background = 140) {
+    for (int i = 0; i < relevant_per_mode; ++i) {
+      relevant_ids.push_back(static_cast<int>(points.size()));
+      points.push_back({0.3 * rng.Gaussian(), 0.3 * rng.Gaussian()});
+      relevant_ids.push_back(static_cast<int>(points.size()));
+      points.push_back(
+          {3.0 + 0.3 * rng.Gaussian(), 3.0 + 0.3 * rng.Gaussian()});
+    }
+    for (int i = 0; i < background; ++i) {
+      points.push_back({rng.Uniform(-5.0, 9.0), rng.Uniform(-5.0, 9.0)});
+    }
+  }
+
+  bool IsRelevant(int id) const {
+    return std::find(relevant_ids.begin(), relevant_ids.end(), id) !=
+           relevant_ids.end();
+  }
+};
+
+QclusterOptions SmallOptions() {
+  QclusterOptions opt;
+  opt.k = 80;
+  opt.max_clusters = 4;
+  opt.initial_clusters = 3;
+  return opt;
+}
+
+TEST(QclusterEngineTest, InitialQueryIsEuclideanKnn) {
+  Rng rng(141);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+  const auto result = engine.InitialQuery({0.0, 0.0});
+  ASSERT_EQ(result.size(), 80u);
+  // Results sorted by distance from the query point.
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+  EXPECT_EQ(engine.iteration(), 0);
+  EXPECT_TRUE(engine.clusters().empty());
+}
+
+TEST(QclusterEngineTest, FeedbackBuildsClusters) {
+  Rng rng(142);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+  auto result = engine.InitialQuery(world.points[0]);
+
+  std::vector<RelevantItem> marked;
+  for (const auto& n : result) {
+    if (world.IsRelevant(n.id)) marked.push_back({n.id, 1.0});
+  }
+  ASSERT_FALSE(marked.empty());
+  result = engine.Feedback(marked);
+  EXPECT_EQ(engine.iteration(), 1);
+  EXPECT_FALSE(engine.clusters().empty());
+  EXPECT_LE(engine.clusters().size(), 4u);
+}
+
+TEST(QclusterEngineTest, RecallImprovesOverIterations) {
+  Rng rng(143);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+
+  auto result = engine.InitialQuery(world.points[0]);
+  auto recall = [&](const std::vector<index::Neighbor>& r) {
+    int hits = 0;
+    for (const auto& n : r) {
+      if (world.IsRelevant(n.id)) ++hits;
+    }
+    return static_cast<double>(hits) / world.relevant_ids.size();
+  };
+  const double initial_recall = recall(result);
+
+  for (int it = 0; it < 3; ++it) {
+    std::vector<RelevantItem> marked;
+    for (const auto& n : result) {
+      if (world.IsRelevant(n.id)) marked.push_back({n.id, 1.0});
+    }
+    result = engine.Feedback(marked);
+  }
+  const double final_recall = recall(result);
+  // The initial Euclidean contour wastes most of its k on background; the
+  // refined disjunctive query must recover the bulk of both modes.
+  EXPECT_GT(final_recall, initial_recall);
+  EXPECT_GT(final_recall, 0.8);
+}
+
+TEST(QclusterEngineTest, FindsBothModes) {
+  Rng rng(144);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+  auto result = engine.InitialQuery(world.points[0]);
+  for (int it = 0; it < 3; ++it) {
+    std::vector<RelevantItem> marked;
+    for (const auto& n : result) {
+      if (world.IsRelevant(n.id)) marked.push_back({n.id, 1.0});
+    }
+    result = engine.Feedback(marked);
+  }
+  // At least one cluster centered near each mode.
+  bool near_origin = false, near_far = false;
+  for (const Cluster& c : engine.clusters()) {
+    const double d0 = linalg::Distance(c.centroid(), {0.0, 0.0});
+    const double d8 = linalg::Distance(c.centroid(), {3.0, 3.0});
+    if (d0 < 1.5) near_origin = true;
+    if (d8 < 1.5) near_far = true;
+  }
+  EXPECT_TRUE(near_origin);
+  EXPECT_TRUE(near_far);
+}
+
+TEST(QclusterEngineTest, DuplicateFeedbackIgnored) {
+  Rng rng(145);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+  engine.InitialQuery(world.points[0]);
+  engine.Feedback({{0, 1.0}, {1, 1.0}});
+  auto total_weight = [&engine] {
+    double total = 0.0;
+    for (const Cluster& c : engine.clusters()) total += c.weight();
+    return total;
+  };
+  EXPECT_NEAR(total_weight(), 2.0, 1e-9);
+  // Feeding the same ids again must not inflate the statistics.
+  engine.Feedback({{0, 1.0}, {1, 1.0}});
+  EXPECT_NEAR(total_weight(), 2.0, 1e-9);
+}
+
+TEST(QclusterEngineTest, ResetClearsState) {
+  Rng rng(146);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+  engine.InitialQuery(world.points[0]);
+  engine.Feedback({{0, 1.0}});
+  engine.Reset();
+  EXPECT_EQ(engine.iteration(), 0);
+  EXPECT_TRUE(engine.clusters().empty());
+}
+
+TEST(QclusterEngineTest, InitialQueryResetsPreviousSession) {
+  Rng rng(147);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+  engine.InitialQuery(world.points[0]);
+  engine.Feedback({{0, 1.0}});
+  engine.InitialQuery(world.points[1]);
+  EXPECT_TRUE(engine.clusters().empty());
+  EXPECT_EQ(engine.iteration(), 0);
+}
+
+TEST(QclusterEngineTest, FeedbackWithoutRelevantDies) {
+  Rng rng(148);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+  engine.InitialQuery(world.points[0]);
+  EXPECT_DEATH(engine.Feedback({}), "relevant");
+}
+
+TEST(QclusterEngineTest, BrTreeAndLinearScanAgree) {
+  Rng rng(149);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex scan(&world.points);
+  const index::BrTree tree(&world.points);
+  QclusterOptions opt = SmallOptions();
+  QclusterEngine engine_scan(&world.points, &scan, opt);
+  QclusterEngine engine_tree(&world.points, &tree, opt);
+
+  auto r1 = engine_scan.InitialQuery(world.points[0]);
+  auto r2 = engine_tree.InitialQuery(world.points[0]);
+  EXPECT_EQ(r1, r2);
+
+  std::vector<RelevantItem> marked;
+  for (const auto& n : r1) {
+    if (world.IsRelevant(n.id)) marked.push_back({n.id, 1.0});
+  }
+  r1 = engine_scan.Feedback(marked);
+  r2 = engine_tree.Feedback(marked);
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(QclusterEngineTest, NameIsQcluster) {
+  Rng rng(150);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+  EXPECT_EQ(engine.name(), "qcluster");
+}
+
+}  // namespace
+}  // namespace qcluster::core

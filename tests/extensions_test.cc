@@ -1,0 +1,181 @@
+// Tests for features beyond the paper's core algorithms: the query-cache
+// IO model of the BR-tree (Fig. 7's multipoint refinement saving),
+// covariance shrinkage in the disjunctive metric, and the Box's M
+// homogeneity guard in the merging stage.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/disjunctive_distance.h"
+#include "core/merging.h"
+#include "index/br_tree.h"
+#include "index/linear_scan.h"
+
+namespace qcluster {
+namespace {
+
+using core::Cluster;
+using linalg::Vector;
+
+std::vector<Vector> RandomPoints(int n, int dim, Rng& rng) {
+  std::vector<Vector> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(rng.GaussianVector(dim));
+  return pts;
+}
+
+TEST(QueryCacheTest, WarmSearchSkipsCachedLeafReads) {
+  Rng rng(241);
+  const std::vector<Vector> pts = RandomPoints(4000, 3, rng);
+  const index::BrTree tree(&pts);
+
+  index::BrTree::QueryCache cache;
+  const index::EuclideanDistance q1(pts[0]);
+  index::SearchStats cold;
+  tree.SearchCached(q1, 50, cache, &cold);
+  EXPECT_GT(cold.leaves_visited, 0);
+  EXPECT_GT(cache.cached_leaf_count(), 0);
+
+  // The *same* query warm-started must hit only cached leaves: zero IO.
+  index::SearchStats warm;
+  const auto warm_result = tree.SearchCached(q1, 50, cache, &warm);
+  EXPECT_EQ(warm.leaves_visited, 0);
+  EXPECT_EQ(warm_result, tree.Search(q1, 50));
+}
+
+TEST(QueryCacheTest, RefinedQueryStaysExactWithFewReads) {
+  Rng rng(242);
+  const std::vector<Vector> pts = RandomPoints(4000, 3, rng);
+  const index::BrTree tree(&pts);
+
+  index::BrTree::QueryCache cache;
+  const index::EuclideanDistance q1(pts[0]);
+  index::SearchStats cold;
+  tree.SearchCached(q1, 50, cache, &cold);
+
+  Vector moved = pts[0];
+  moved[0] += 0.1;  // A slightly refined query.
+  const index::EuclideanDistance q2(moved);
+  index::SearchStats warm;
+  const auto warm_result = tree.SearchCached(q2, 50, cache, &warm);
+  EXPECT_EQ(warm_result, tree.Search(q2, 50));  // Exactness preserved.
+  EXPECT_LE(warm.leaves_visited, cold.leaves_visited);
+}
+
+TEST(QueryCacheTest, CacheAccumulatesAcrossIterations) {
+  Rng rng(243);
+  const std::vector<Vector> pts = RandomPoints(2000, 2, rng);
+  const index::BrTree tree(&pts);
+  index::BrTree::QueryCache cache;
+  int previous = 0;
+  for (int it = 0; it < 4; ++it) {
+    Vector q = pts[0];
+    q[0] += 0.05 * it;
+    tree.SearchCached(index::EuclideanDistance(q), 30, cache);
+    EXPECT_GE(cache.cached_leaf_count(), previous);
+    previous = cache.cached_leaf_count();
+  }
+}
+
+TEST(ShrinkageTest, ZeroLambdaMatchesPlainMetric) {
+  Rng rng(244);
+  std::vector<Cluster> clusters;
+  Cluster a(2), b(2);
+  for (int i = 0; i < 20; ++i) {
+    a.Add(rng.GaussianVector(2), 1.0);
+    b.Add(linalg::Add(rng.GaussianVector(2), {5, 5}), 1.0);
+  }
+  clusters.push_back(std::move(a));
+  clusters.push_back(std::move(b));
+  const core::DisjunctiveDistance plain(
+      clusters, stats::CovarianceScheme::kDiagonal, 1e-4);
+  const core::DisjunctiveDistance zero(
+      clusters, stats::CovarianceScheme::kDiagonal, 1e-4, 0.0);
+  for (int t = 0; t < 20; ++t) {
+    const Vector x = rng.GaussianVector(2);
+    EXPECT_DOUBLE_EQ(plain.Distance(x), zero.Distance(x));
+  }
+}
+
+TEST(ShrinkageTest, FullShrinkagePullsMetricsTowardPooled) {
+  // One tight and one wide cluster: with strong shrinkage their metrics
+  // approach the shared pooled shape, so the distance from each centroid
+  // to an offset probe becomes comparable.
+  Rng rng(245);
+  std::vector<Cluster> clusters;
+  Cluster tight(1), wide(1);
+  for (int i = 0; i < 30; ++i) {
+    tight.Add({0.1 * rng.Gaussian()}, 1.0);
+    wide.Add({100.0 + 3.0 * rng.Gaussian()}, 1.0);
+  }
+  clusters.push_back(std::move(tight));
+  clusters.push_back(std::move(wide));
+
+  const core::DisjunctiveDistance sharp(
+      clusters, stats::CovarianceScheme::kDiagonal, 1e-8, 0.0);
+  const core::DisjunctiveDistance shrunk(
+      clusters, stats::CovarianceScheme::kDiagonal, 1e-8, 0.9);
+  // Probe near the tight cluster: under shrinkage the tight cluster's
+  // variance grows, so the same offset counts as less distance.
+  EXPECT_GT(sharp.Distance({1.0}), shrunk.Distance({1.0}));
+}
+
+TEST(MergeHomogeneityTest, BlocksCovarianceMismatchedPairs) {
+  Rng rng(246);
+  // Same mean, very different covariance scale: the plain T² test would
+  // merge them; the Box's M guard must keep them apart.
+  std::vector<Cluster> clusters;
+  Cluster tight(2), wide(2);
+  for (int i = 0; i < 40; ++i) {
+    tight.Add(linalg::Scale(rng.GaussianVector(2), 0.2), 1.0);
+    wide.Add(linalg::Scale(rng.GaussianVector(2), 4.0), 1.0);
+  }
+  clusters.push_back(tight);
+  clusters.push_back(wide);
+
+  core::MergeOptions plain;
+  plain.max_clusters = 5;
+  std::vector<Cluster> plain_clusters = clusters;
+  core::MergeClusters(plain_clusters, plain);
+  EXPECT_EQ(plain_clusters.size(), 1u);  // T² alone merges them.
+
+  core::MergeOptions guarded = plain;
+  guarded.check_covariance_homogeneity = true;
+  std::vector<Cluster> guarded_clusters = clusters;
+  core::MergeClusters(guarded_clusters, guarded);
+  EXPECT_EQ(guarded_clusters.size(), 2u);  // Box's M blocks the merge.
+}
+
+TEST(MergeHomogeneityTest, CapStillForcesBlockedMerges) {
+  Rng rng(247);
+  std::vector<Cluster> clusters;
+  Cluster tight(2), wide(2);
+  for (int i = 0; i < 40; ++i) {
+    tight.Add(linalg::Scale(rng.GaussianVector(2), 0.2), 1.0);
+    wide.Add(linalg::Scale(rng.GaussianVector(2), 4.0), 1.0);
+  }
+  clusters.push_back(std::move(tight));
+  clusters.push_back(std::move(wide));
+  core::MergeOptions opt;
+  opt.max_clusters = 1;  // The cap overrides the guard.
+  opt.check_covariance_homogeneity = true;
+  core::MergeClusters(clusters, opt);
+  EXPECT_EQ(clusters.size(), 1u);
+}
+
+TEST(MergeHomogeneityTest, HomogeneousPairsStillMerge) {
+  Rng rng(248);
+  std::vector<Cluster> clusters;
+  for (int c = 0; c < 2; ++c) {
+    Cluster cluster(2);
+    for (int i = 0; i < 40; ++i) cluster.Add(rng.GaussianVector(2), 1.0);
+    clusters.push_back(std::move(cluster));
+  }
+  core::MergeOptions opt;
+  opt.max_clusters = 5;
+  opt.check_covariance_homogeneity = true;
+  core::MergeClusters(clusters, opt);
+  EXPECT_EQ(clusters.size(), 1u);
+}
+
+}  // namespace
+}  // namespace qcluster

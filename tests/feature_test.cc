@@ -1,0 +1,132 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "image/color_moments.h"
+#include "image/draw.h"
+#include "image/glcm.h"
+
+namespace qcluster::image {
+namespace {
+
+TEST(ColorMomentsTest, DimensionIsNine) {
+  const Image img(8, 8, Rgb{100, 150, 200});
+  EXPECT_EQ(ExtractColorMoments(img).size(),
+            static_cast<std::size_t>(kColorMomentDim));
+}
+
+TEST(ColorMomentsTest, UniformImageHasZeroSpread) {
+  const Image img(8, 8, Rgb{100, 150, 200});
+  const linalg::Vector f = ExtractColorMoments(img);
+  // Stddev and skewness of every channel vanish on a constant image.
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(f[static_cast<std::size_t>(3 * c + 1)], 0.0, 1e-12);
+    EXPECT_NEAR(f[static_cast<std::size_t>(3 * c + 2)], 0.0, 1e-12);
+  }
+}
+
+TEST(ColorMomentsTest, MeansMatchKnownColor) {
+  // Pure red: H=0, S=1, V=1.
+  const Image img(4, 4, Rgb{255, 0, 0});
+  const linalg::Vector f = ExtractColorMoments(img);
+  EXPECT_NEAR(f[0], 0.0, 1e-9);  // Hue mean (normalized).
+  EXPECT_NEAR(f[3], 1.0, 1e-9);  // Saturation mean.
+  EXPECT_NEAR(f[6], 1.0, 1e-9);  // Value mean.
+}
+
+TEST(ColorMomentsTest, DistinguishesHues) {
+  const Image red(8, 8, Rgb{220, 30, 30});
+  const Image blue(8, 8, Rgb{30, 30, 220});
+  const linalg::Vector fr = ExtractColorMoments(red);
+  const linalg::Vector fb = ExtractColorMoments(blue);
+  EXPECT_GT(linalg::Distance(fr, fb), 0.3);
+}
+
+TEST(ColorMomentsTest, TwoToneImageHasPositiveSpread) {
+  Image img(8, 8, Rgb{0, 0, 0});
+  FillRect(img, 0, 0, 8, 4, Rgb{255, 255, 255});
+  const linalg::Vector f = ExtractColorMoments(img);
+  EXPECT_GT(f[7], 0.3);  // Value stddev near 0.5.
+}
+
+TEST(GlcmTest, NormalizedAndSymmetric) {
+  Rng rng(71);
+  Image img(16, 16, Rgb{128, 128, 128});
+  AddUniformNoise(img, 60, rng);
+  const linalg::Matrix glcm = ComputeGlcm(img);
+  double total = 0.0;
+  for (int i = 0; i < glcm.rows(); ++i) {
+    for (int j = 0; j < glcm.cols(); ++j) total += glcm(i, j);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_TRUE(glcm.IsSymmetric(1e-12));
+}
+
+TEST(GlcmTest, UniformImageConcentratesOnDiagonal) {
+  const Image img(8, 8, Rgb{100, 100, 100});
+  const linalg::Matrix glcm = ComputeGlcm(img);
+  double diagonal_mass = 0.0;
+  for (int i = 0; i < glcm.rows(); ++i) diagonal_mass += glcm(i, i);
+  EXPECT_NEAR(diagonal_mass, 1.0, 1e-12);
+}
+
+TEST(GlcmTest, FeatureVectorDimension) {
+  const Image img(8, 8, Rgb{100, 100, 100});
+  EXPECT_EQ(ExtractTextureFeatures(img).size(),
+            static_cast<std::size_t>(kGlcmFeatureDim));
+}
+
+TEST(GlcmTest, FlatImageExtremeFeatures) {
+  const Image img(8, 8, Rgb{200, 200, 200});
+  const linalg::Vector f = ExtractTextureFeatures(img);
+  EXPECT_NEAR(f[0], 1.0, 1e-9);   // Energy maximal.
+  EXPECT_NEAR(f[1], 0.0, 1e-9);   // Inertia zero.
+  EXPECT_NEAR(f[2], 0.0, 1e-9);   // Entropy zero.
+  EXPECT_NEAR(f[3], 1.0, 1e-9);   // Homogeneity maximal.
+  EXPECT_NEAR(f[12], 1.0, 1e-9);  // Max probability.
+}
+
+TEST(GlcmTest, StripesHaveHigherContrastThanFlat) {
+  Image stripes(16, 16);
+  DrawHorizontalStripes(stripes, 2, Rgb{0, 0, 0}, Rgb{255, 255, 255});
+  const Image flat(16, 16, Rgb{128, 128, 128});
+  GlcmOptions vertical;
+  vertical.dx = 0;
+  vertical.dy = 1;  // Across the stripes.
+  const linalg::Vector fs = GlcmFeatures(ComputeGlcm(stripes, vertical));
+  const linalg::Vector ff = GlcmFeatures(ComputeGlcm(flat, vertical));
+  EXPECT_GT(fs[1], ff[1] + 100.0);  // Inertia explodes across stripes.
+  EXPECT_LT(fs[3], ff[3]);          // Homogeneity drops.
+}
+
+TEST(GlcmTest, DirectionMatters) {
+  Image stripes(16, 16);
+  DrawHorizontalStripes(stripes, 2, Rgb{0, 0, 0}, Rgb{255, 255, 255});
+  GlcmOptions horizontal;  // Along the stripes: neighbors equal.
+  GlcmOptions vertical;
+  vertical.dx = 0;
+  vertical.dy = 1;
+  const double inertia_h =
+      GlcmFeatures(ComputeGlcm(stripes, horizontal))[1];
+  const double inertia_v = GlcmFeatures(ComputeGlcm(stripes, vertical))[1];
+  EXPECT_LT(inertia_h, 1e-9);
+  EXPECT_GT(inertia_v, 100.0);
+}
+
+TEST(GlcmTest, DeterministicForSameImage) {
+  Rng rng(72);
+  Image img(16, 16, Rgb{90, 120, 150});
+  AddUniformNoise(img, 40, rng);
+  EXPECT_EQ(ExtractTextureFeatures(img), ExtractTextureFeatures(img));
+}
+
+TEST(GlcmTest, LevelOptionControlsMatrixSize) {
+  const Image img(8, 8, Rgb{10, 10, 10});
+  GlcmOptions opt;
+  opt.levels = 8;
+  EXPECT_EQ(ComputeGlcm(img, opt).rows(), 8);
+}
+
+}  // namespace
+}  // namespace qcluster::image

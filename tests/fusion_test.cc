@@ -1,0 +1,97 @@
+#include "eval/fusion.h"
+
+#include <gtest/gtest.h>
+
+namespace qcluster::eval {
+namespace {
+
+using index::Neighbor;
+
+std::vector<Neighbor> MakeList(const std::vector<int>& ids,
+                               double distance_step = 1.0) {
+  std::vector<Neighbor> out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out.push_back(Neighbor{ids[i], static_cast<double>(i) * distance_step});
+  }
+  return out;
+}
+
+TEST(ReciprocalRankFusionTest, AgreementBeatsDisagreement) {
+  // id 1 is ranked first in both lists; ids 2 and 3 each appear once.
+  const auto fused = ReciprocalRankFusion(
+      {MakeList({1, 2}), MakeList({1, 3})}, {1.0, 1.0}, 4);
+  ASSERT_GE(fused.size(), 3u);
+  EXPECT_EQ(fused[0].id, 1);
+}
+
+TEST(ReciprocalRankFusionTest, WeightsBiasTowardHeavyList) {
+  const auto fused = ReciprocalRankFusion(
+      {MakeList({1, 2}), MakeList({2, 1})}, {3.0, 1.0}, 2);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_EQ(fused[0].id, 1);  // List 1 (weight 3) ranks id 1 first.
+}
+
+TEST(ReciprocalRankFusionTest, SingleListPreservesOrder) {
+  const auto fused =
+      ReciprocalRankFusion({MakeList({5, 3, 9})}, {1.0}, 3);
+  ASSERT_EQ(fused.size(), 3u);
+  EXPECT_EQ(fused[0].id, 5);
+  EXPECT_EQ(fused[1].id, 3);
+  EXPECT_EQ(fused[2].id, 9);
+}
+
+TEST(ReciprocalRankFusionTest, TruncatesToK) {
+  const auto fused =
+      ReciprocalRankFusion({MakeList({1, 2, 3, 4, 5})}, {1.0}, 2);
+  EXPECT_EQ(fused.size(), 2u);
+}
+
+TEST(ReciprocalRankFusionTest, IgnoresDistanceScales) {
+  // Same ranks, wildly different distance scales: identical fusion.
+  const auto a = ReciprocalRankFusion(
+      {MakeList({1, 2, 3}, 1.0), MakeList({3, 2, 1}, 1.0)}, {1.0, 1.0}, 3);
+  const auto b = ReciprocalRankFusion(
+      {MakeList({1, 2, 3}, 1e6), MakeList({3, 2, 1}, 1e-6)}, {1.0, 1.0}, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(WeightedScoreFusionTest, ConsensusTopStaysTop) {
+  const auto fused = WeightedScoreFusion(
+      {MakeList({1, 2, 3}), MakeList({1, 3, 2})}, {1.0, 1.0}, 3);
+  ASSERT_EQ(fused.size(), 3u);
+  EXPECT_EQ(fused[0].id, 1);
+}
+
+TEST(WeightedScoreFusionTest, MissingEntriesPayWorstCase) {
+  // id 9 only appears (last) in list 1; id 1 appears first in both.
+  const auto fused = WeightedScoreFusion(
+      {MakeList({1, 9}), MakeList({1, 2})}, {1.0, 1.0}, 3);
+  EXPECT_EQ(fused[0].id, 1);
+  // 9 and 2 are symmetric (each missing from one list): tie broken by id.
+  EXPECT_EQ(fused[1].id, 2);
+  EXPECT_EQ(fused[2].id, 9);
+}
+
+TEST(WeightedScoreFusionTest, ZeroWeightListIgnored) {
+  const auto fused = WeightedScoreFusion(
+      {MakeList({1, 2}), MakeList({2, 1})}, {1.0, 0.0}, 2);
+  EXPECT_EQ(fused[0].id, 1);
+}
+
+TEST(WeightedScoreFusionTest, DegenerateListAllSameDistance) {
+  std::vector<Neighbor> flat{{1, 5.0}, {2, 5.0}, {3, 5.0}};
+  const auto fused = WeightedScoreFusion({flat}, {1.0}, 3);
+  ASSERT_EQ(fused.size(), 3u);
+  EXPECT_EQ(fused[0].id, 1);  // Deterministic id tiebreak.
+}
+
+TEST(FusionTest, RejectsMismatchedWeights) {
+  EXPECT_DEATH(
+      (void)ReciprocalRankFusion({MakeList({1})}, {1.0, 2.0}, 1),
+      "size");
+  EXPECT_DEATH((void)WeightedScoreFusion({MakeList({1})}, {}, 1), "size");
+}
+
+}  // namespace
+}  // namespace qcluster::eval

@@ -1,0 +1,155 @@
+#include "image/image.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "image/draw.h"
+
+namespace qcluster::image {
+namespace {
+
+TEST(ImageTest, ConstructionAndFill) {
+  const Image img(4, 3, Rgb{10, 20, 30});
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.at(3, 2), (Rgb{10, 20, 30}));
+  EXPECT_EQ(img.pixels().size(), 12u);
+}
+
+TEST(ImageTest, PixelWriteReadback) {
+  Image img(2, 2);
+  img.at(1, 0) = Rgb{255, 0, 128};
+  EXPECT_EQ(img.at(1, 0), (Rgb{255, 0, 128}));
+  EXPECT_EQ(img.at(0, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(ImageTest, ContainsAndBoundsCheck) {
+  Image img(2, 2);
+  EXPECT_TRUE(img.Contains(0, 0));
+  EXPECT_TRUE(img.Contains(1, 1));
+  EXPECT_FALSE(img.Contains(2, 0));
+  EXPECT_FALSE(img.Contains(0, -1));
+  EXPECT_DEATH((void)img.at(2, 0), "Contains");
+}
+
+TEST(ColorConversionTest, PrimaryColorsToHsv) {
+  double h, s, v;
+  RgbToHsv(Rgb{255, 0, 0}, &h, &s, &v);
+  EXPECT_NEAR(h, 0.0, 1e-9);
+  EXPECT_NEAR(s, 1.0, 1e-9);
+  EXPECT_NEAR(v, 1.0, 1e-9);
+  RgbToHsv(Rgb{0, 255, 0}, &h, &s, &v);
+  EXPECT_NEAR(h, 120.0, 1e-9);
+  RgbToHsv(Rgb{0, 0, 255}, &h, &s, &v);
+  EXPECT_NEAR(h, 240.0, 1e-9);
+}
+
+TEST(ColorConversionTest, GraysHaveZeroSaturation) {
+  double h, s, v;
+  RgbToHsv(Rgb{128, 128, 128}, &h, &s, &v);
+  EXPECT_DOUBLE_EQ(h, 0.0);
+  EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_NEAR(v, 128.0 / 255.0, 1e-9);
+}
+
+TEST(ColorConversionTest, RoundTripThroughHsv) {
+  Rng rng(61);
+  for (int i = 0; i < 200; ++i) {
+    const Rgb original{static_cast<std::uint8_t>(rng.UniformInt(256)),
+                       static_cast<std::uint8_t>(rng.UniformInt(256)),
+                       static_cast<std::uint8_t>(rng.UniformInt(256))};
+    double h, s, v;
+    RgbToHsv(original, &h, &s, &v);
+    const Rgb back = HsvToRgb(h, s, v);
+    EXPECT_NEAR(back.r, original.r, 1);
+    EXPECT_NEAR(back.g, original.g, 1);
+    EXPECT_NEAR(back.b, original.b, 1);
+  }
+}
+
+TEST(ColorConversionTest, HsvToRgbHueWraps) {
+  EXPECT_EQ(HsvToRgb(360.0, 1.0, 1.0), HsvToRgb(0.0, 1.0, 1.0));
+  EXPECT_EQ(HsvToRgb(-120.0, 1.0, 1.0), HsvToRgb(240.0, 1.0, 1.0));
+}
+
+TEST(ColorConversionTest, GrayWeightsSumToLuma) {
+  EXPECT_NEAR(RgbToGray(Rgb{255, 255, 255}), 255.0, 1e-9);
+  EXPECT_NEAR(RgbToGray(Rgb{0, 0, 0}), 0.0, 1e-9);
+  EXPECT_GT(RgbToGray(Rgb{0, 255, 0}), RgbToGray(Rgb{255, 0, 0}));
+}
+
+TEST(DrawTest, FillRectClips) {
+  Image img(4, 4, Rgb{0, 0, 0});
+  FillRect(img, -5, -5, 2, 100, Rgb{9, 9, 9});
+  EXPECT_EQ(img.at(0, 0), (Rgb{9, 9, 9}));
+  EXPECT_EQ(img.at(1, 3), (Rgb{9, 9, 9}));
+  EXPECT_EQ(img.at(2, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(DrawTest, FillDiskCoversCenterNotCorner) {
+  Image img(11, 11, Rgb{0, 0, 0});
+  FillDisk(img, 5, 5, 3, Rgb{1, 1, 1});
+  EXPECT_EQ(img.at(5, 5), (Rgb{1, 1, 1}));
+  EXPECT_EQ(img.at(5, 8), (Rgb{1, 1, 1}));
+  EXPECT_EQ(img.at(0, 0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img.at(8, 8), (Rgb{0, 0, 0}));  // Outside radius diagonally.
+}
+
+TEST(DrawTest, GradientMonotoneInValue) {
+  Image img(4, 16);
+  FillVerticalGradient(img, Rgb{0, 0, 0}, Rgb{200, 200, 200});
+  EXPECT_LT(RgbToGray(img.at(0, 0)), RgbToGray(img.at(0, 8)));
+  EXPECT_LT(RgbToGray(img.at(0, 8)), RgbToGray(img.at(0, 15)));
+}
+
+TEST(DrawTest, StripesAlternate) {
+  Image img(4, 8);
+  DrawHorizontalStripes(img, 4, Rgb{0, 0, 0}, Rgb{255, 255, 255});
+  EXPECT_EQ(img.at(0, 0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img.at(0, 2), (Rgb{255, 255, 255}));
+  EXPECT_EQ(img.at(0, 4), (Rgb{0, 0, 0}));
+}
+
+TEST(DrawTest, CheckerboardAlternates) {
+  Image img(4, 4);
+  DrawCheckerboard(img, 2, Rgb{0, 0, 0}, Rgb{255, 255, 255});
+  EXPECT_EQ(img.at(0, 0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img.at(2, 0), (Rgb{255, 255, 255}));
+  EXPECT_EQ(img.at(2, 2), (Rgb{0, 0, 0}));
+}
+
+TEST(DrawTest, NoiseStaysInRangeAndChangesPixels) {
+  Rng rng(62);
+  Image img(16, 16, Rgb{128, 128, 128});
+  AddUniformNoise(img, 30, rng);
+  bool changed = false;
+  for (const Rgb& px : img.pixels()) {
+    EXPECT_GE(px.r, 128 - 30);
+    EXPECT_LE(px.r, 128 + 30);
+    if (px != Rgb{128, 128, 128}) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(DrawTest, ZeroNoiseIsNoOp) {
+  Rng rng(63);
+  Image img(4, 4, Rgb{50, 60, 70});
+  AddUniformNoise(img, 0, rng);
+  for (const Rgb& px : img.pixels()) EXPECT_EQ(px, (Rgb{50, 60, 70}));
+}
+
+TEST(DrawTest, JitterHsvBoundedChange) {
+  Rng rng(64);
+  Image img(8, 8, HsvToRgb(200.0, 0.5, 0.5));
+  JitterHsv(img, 10.0, 0.05, 0.05, rng);
+  double h, s, v;
+  RgbToHsv(img.at(0, 0), &h, &s, &v);
+  EXPECT_NEAR(h, 200.0, 12.0);
+  EXPECT_NEAR(s, 0.5, 0.07);
+  EXPECT_NEAR(v, 0.5, 0.07);
+}
+
+}  // namespace
+}  // namespace qcluster::image

@@ -1,0 +1,96 @@
+#include "index/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/linear_scan.h"
+
+namespace qcluster::index {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> RandomPoints(int n, int dim, Rng& rng) {
+  std::vector<Vector> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(rng.GaussianVector(dim));
+  return pts;
+}
+
+TEST(IncrementalKnnTest, YieldsNonDecreasingDistances) {
+  Rng rng(261);
+  const std::vector<Vector> pts = RandomPoints(500, 3, rng);
+  const BrTree tree(&pts);
+  const EuclideanDistance dist(rng.GaussianVector(3));
+  IncrementalKnn browser(&tree, &dist);
+  double previous = -1.0;
+  int count = 0;
+  while (auto next = browser.Next()) {
+    EXPECT_GE(next->distance, previous);
+    previous = next->distance;
+    ++count;
+  }
+  EXPECT_EQ(count, 500);  // Exhausts the database exactly once.
+}
+
+TEST(IncrementalKnnTest, MatchesBatchSearch) {
+  Rng rng(262);
+  const std::vector<Vector> pts = RandomPoints(400, 2, rng);
+  const BrTree tree(&pts);
+  for (int q = 0; q < 5; ++q) {
+    const EuclideanDistance dist(rng.GaussianVector(2));
+    IncrementalKnn browser(&tree, &dist);
+    EXPECT_EQ(browser.NextBatch(25), tree.Search(dist, 25));
+  }
+}
+
+TEST(IncrementalKnnTest, ResumableAcrossBatches) {
+  Rng rng(263);
+  const std::vector<Vector> pts = RandomPoints(300, 2, rng);
+  const BrTree tree(&pts);
+  const EuclideanDistance dist(pts[0]);
+  IncrementalKnn browser(&tree, &dist);
+  const auto first = browser.NextBatch(10);
+  const auto second = browser.NextBatch(10);
+  // Together they equal the top 20, in order, with no repeats.
+  auto combined = first;
+  combined.insert(combined.end(), second.begin(), second.end());
+  EXPECT_EQ(combined, tree.Search(dist, 20));
+}
+
+TEST(IncrementalKnnTest, EmptyTree) {
+  const std::vector<Vector> pts;
+  const BrTree tree(&pts);
+  const EuclideanDistance dist({0.0});
+  IncrementalKnn browser(&tree, &dist);
+  EXPECT_FALSE(browser.Next().has_value());
+  EXPECT_TRUE(browser.NextBatch(5).empty());
+}
+
+TEST(IncrementalKnnTest, LazyCostGrowsWithConsumption) {
+  Rng rng(264);
+  const std::vector<Vector> pts = RandomPoints(5000, 3, rng);
+  const BrTree tree(&pts);
+  const EuclideanDistance dist(rng.GaussianVector(3));
+  IncrementalKnn browser(&tree, &dist);
+  browser.NextBatch(10);
+  const long long after_ten = browser.stats().distance_evaluations;
+  browser.NextBatch(1000);
+  const long long after_thousand = browser.stats().distance_evaluations;
+  // Browsing lazily: pulling 10 touches a small fraction of what pulling
+  // 1000 more requires, and both stay below the full database size.
+  EXPECT_LT(after_ten, after_thousand);
+  EXPECT_LT(after_thousand, 5000);
+}
+
+TEST(IncrementalKnnTest, WorksWithWeightedMetric) {
+  Rng rng(265);
+  const std::vector<Vector> pts = RandomPoints(300, 3, rng);
+  const BrTree tree(&pts);
+  Vector w{5.0, 1.0, 0.2};
+  const WeightedEuclideanDistance dist(rng.GaussianVector(3), w);
+  IncrementalKnn browser(&tree, &dist);
+  EXPECT_EQ(browser.NextBatch(15), tree.Search(dist, 15));
+}
+
+}  // namespace
+}  // namespace qcluster::index

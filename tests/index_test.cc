@@ -1,0 +1,202 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/br_tree.h"
+#include "index/linear_scan.h"
+
+namespace qcluster::index {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> RandomPoints(int n, int dim, Rng& rng) {
+  std::vector<Vector> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pts.push_back(rng.GaussianVector(dim));
+  return pts;
+}
+
+TEST(RectTest, ExpandAndDistance) {
+  Rect r = Rect::Empty(2);
+  r.Expand({0.0, 0.0});
+  r.Expand({2.0, 4.0});
+  EXPECT_DOUBLE_EQ(r.SquaredEuclideanDistance({1.0, 2.0}), 0.0);   // Inside.
+  EXPECT_DOUBLE_EQ(r.SquaredEuclideanDistance({3.0, 4.0}), 1.0);   // Right.
+  EXPECT_DOUBLE_EQ(r.SquaredEuclideanDistance({-1.0, 5.0}), 2.0);  // Corner.
+}
+
+TEST(EuclideanDistanceTest, ValuesAndBounds) {
+  const EuclideanDistance d({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(d.Distance({3.0, 4.0}), 25.0);
+  Rect r = Rect::Empty(2);
+  r.Expand({1.0, 0.0});
+  r.Expand({2.0, 1.0});
+  EXPECT_DOUBLE_EQ(d.MinDistance(r), 1.0);
+}
+
+TEST(WeightedEuclideanDistanceTest, WeightsApply) {
+  const WeightedEuclideanDistance d({0.0, 0.0}, {1.0, 10.0});
+  EXPECT_DOUBLE_EQ(d.Distance({1.0, 1.0}), 11.0);
+  Rect r = Rect::Empty(2);
+  r.Expand({0.0, 2.0});
+  r.Expand({0.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.MinDistance(r), 40.0);
+}
+
+TEST(MahalanobisDistanceTest, MatchesQuadraticForm) {
+  const linalg::Matrix a{{2.0, 0.5}, {0.5, 1.0}};
+  const MahalanobisDistance d({1.0, 1.0}, a);
+  // diff = (1, 2): 2*1 + 2*0.5*1*2 + 1*4 = 8.
+  EXPECT_NEAR(d.Distance({2.0, 3.0}), 8.0, 1e-12);
+}
+
+TEST(MahalanobisDistanceTest, RectBoundIsLowerBound) {
+  Rng rng(91);
+  const linalg::Matrix a{{2.0, 0.5}, {0.5, 1.0}};
+  const MahalanobisDistance d({0.0, 0.0}, a);
+  for (int t = 0; t < 200; ++t) {
+    Rect r = Rect::Empty(2);
+    r.Expand(rng.GaussianVector(2));
+    r.Expand(rng.GaussianVector(2));
+    const double bound = d.MinDistance(r);
+    // Sample points inside the rect: distance must exceed the bound.
+    for (int s = 0; s < 10; ++s) {
+      const Vector p{rng.Uniform(r.lo[0], r.hi[0]),
+                     rng.Uniform(r.lo[1], r.hi[1])};
+      EXPECT_GE(d.Distance(p) + 1e-9, bound);
+    }
+  }
+}
+
+TEST(LinearScanTest, FindsExactNeighbors) {
+  const std::vector<Vector> pts{{0, 0}, {1, 0}, {5, 5}, {0.5, 0}};
+  const LinearScanIndex idx(&pts);
+  const EuclideanDistance d({0.0, 0.0});
+  const std::vector<Neighbor> result = idx.Search(d, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 0);
+  EXPECT_EQ(result[1].id, 3);
+}
+
+TEST(LinearScanTest, KLargerThanDatabase) {
+  const std::vector<Vector> pts{{0.0}, {1.0}};
+  const LinearScanIndex idx(&pts);
+  EXPECT_EQ(idx.Search(EuclideanDistance({0.0}), 10).size(), 2u);
+}
+
+TEST(LinearScanTest, CountsDistanceEvaluations) {
+  Rng rng(92);
+  const std::vector<Vector> pts = RandomPoints(100, 3, rng);
+  const LinearScanIndex idx(&pts);
+  SearchStats stats;
+  idx.Search(EuclideanDistance({0, 0, 0}), 5, &stats);
+  EXPECT_EQ(stats.distance_evaluations, 100);
+}
+
+TEST(TopKTest, SortsAndTruncates) {
+  std::vector<Neighbor> all{{3, 5.0}, {1, 1.0}, {2, 3.0}, {0, 1.0}};
+  const std::vector<Neighbor> top = TopK(all, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 0);  // Tie at distance 1: lower id first.
+  EXPECT_EQ(top[1].id, 1);
+  EXPECT_EQ(top[2].id, 2);
+}
+
+TEST(BrTreeTest, MatchesLinearScanEuclidean) {
+  Rng rng(93);
+  for (int n : {1, 10, 100, 500}) {
+    const std::vector<Vector> pts = RandomPoints(n, 3, rng);
+    const BrTree tree(&pts);
+    const LinearScanIndex scan(&pts);
+    for (int q = 0; q < 10; ++q) {
+      const EuclideanDistance d(rng.GaussianVector(3));
+      EXPECT_EQ(tree.Search(d, 7), scan.Search(d, 7)) << "n=" << n;
+    }
+  }
+}
+
+TEST(BrTreeTest, MatchesLinearScanWeighted) {
+  Rng rng(94);
+  const std::vector<Vector> pts = RandomPoints(300, 4, rng);
+  const BrTree tree(&pts);
+  const LinearScanIndex scan(&pts);
+  for (int q = 0; q < 10; ++q) {
+    Vector w(4);
+    for (double& x : w) x = rng.Uniform(0.1, 5.0);
+    const WeightedEuclideanDistance d(rng.GaussianVector(4), w);
+    EXPECT_EQ(tree.Search(d, 11), scan.Search(d, 11));
+  }
+}
+
+TEST(BrTreeTest, MatchesLinearScanMahalanobis) {
+  Rng rng(95);
+  const std::vector<Vector> pts = RandomPoints(300, 3, rng);
+  const BrTree tree(&pts);
+  const LinearScanIndex scan(&pts);
+  const linalg::Matrix a{{2.0, 0.3, 0.0}, {0.3, 1.0, 0.1}, {0.0, 0.1, 0.5}};
+  for (int q = 0; q < 10; ++q) {
+    const MahalanobisDistance d(rng.GaussianVector(3), a);
+    EXPECT_EQ(tree.Search(d, 9), scan.Search(d, 9));
+  }
+}
+
+TEST(BrTreeTest, PruningReducesWork) {
+  Rng rng(96);
+  const std::vector<Vector> pts = RandomPoints(5000, 3, rng);
+  const BrTree tree(&pts);
+  SearchStats stats;
+  tree.Search(EuclideanDistance({0, 0, 0}), 10, &stats);
+  EXPECT_LT(stats.distance_evaluations, 5000);
+  EXPECT_GT(stats.nodes_visited, 0);
+}
+
+TEST(BrTreeTest, CachedSearchSameResultsLessWork) {
+  Rng rng(97);
+  const std::vector<Vector> pts = RandomPoints(5000, 3, rng);
+  const BrTree tree(&pts);
+
+  BrTree::QueryCache cache;
+  const EuclideanDistance q1(rng.GaussianVector(3));
+  SearchStats cold_stats;
+  const auto cold = tree.SearchCached(q1, 10, cache, &cold_stats);
+  EXPECT_EQ(cold, tree.Search(q1, 10));
+
+  // A slightly refined query (as in a feedback iteration).
+  const EuclideanDistance q2(linalg::Add(rng.GaussianVector(3), {0.05, 0, 0}));
+  SearchStats warm_stats;
+  const auto warm = tree.SearchCached(q2, 10, cache, &warm_stats);
+  EXPECT_EQ(warm, tree.Search(q2, 10));  // Exactness is preserved.
+}
+
+TEST(BrTreeTest, EmptyDatabase) {
+  const std::vector<Vector> pts;
+  const BrTree tree(&pts);
+  EXPECT_TRUE(tree.Search(EuclideanDistance({0.0}), 3).empty());
+}
+
+TEST(BrTreeTest, LeafSizeOneStillCorrect) {
+  Rng rng(98);
+  const std::vector<Vector> pts = RandomPoints(64, 2, rng);
+  BrTree::Options opt;
+  opt.leaf_size = 1;
+  const BrTree tree(&pts, opt);
+  const LinearScanIndex scan(&pts);
+  const EuclideanDistance d({0.0, 0.0});
+  EXPECT_EQ(tree.Search(d, 5), scan.Search(d, 5));
+  EXPECT_GT(tree.node_count(), 64);
+}
+
+TEST(BrTreeTest, DuplicatePointsHandled) {
+  const std::vector<Vector> pts{{1, 1}, {1, 1}, {1, 1}, {2, 2}};
+  const BrTree tree(&pts);
+  const auto result = tree.Search(EuclideanDistance({1, 1}), 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 0);
+  EXPECT_EQ(result[1].id, 1);
+  EXPECT_EQ(result[2].id, 2);
+}
+
+}  // namespace
+}  // namespace qcluster::index

@@ -1,0 +1,214 @@
+// Property tests for Theorem 1 (linear-transformation invariance) and the
+// PCA identities of Sec. 4.4 (Eq. 17-19). Parameterized over dimension and
+// transform conditioning: for every random nonsingular A the statistics
+// T², d², and the Bayesian classification decision computed on A·x must
+// equal those computed on x when the full inverse covariance is used.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/classifier.h"
+#include "core/cluster.h"
+#include "dataset/synthetic_gaussian.h"
+#include "linalg/pca.h"
+#include "stats/hotelling.h"
+
+namespace qcluster {
+namespace {
+
+using core::ClassifierOptions;
+using core::Cluster;
+using linalg::Matrix;
+using linalg::Vector;
+using stats::CovarianceScheme;
+using stats::WeightedStats;
+
+struct InvarianceParam {
+  int dim;
+  double condition;
+  std::uint64_t seed;
+};
+
+class InvarianceTest : public ::testing::TestWithParam<InvarianceParam> {};
+
+std::vector<Vector> TransformAll(const Matrix& a,
+                                 const std::vector<Vector>& points) {
+  std::vector<Vector> out;
+  out.reserve(points.size());
+  for (const Vector& p : points) out.push_back(a.MatVec(p));
+  return out;
+}
+
+TEST_P(InvarianceTest, HotellingT2InvariantUnderLinearMaps) {
+  const InvarianceParam param = GetParam();
+  Rng rng(param.seed);
+  std::vector<Vector> pa, pb;
+  for (int i = 0; i < 4 * param.dim; ++i) {
+    pa.push_back(rng.GaussianVector(param.dim));
+    Vector b = rng.GaussianVector(param.dim);
+    b[0] += 1.0;
+    pb.push_back(std::move(b));
+  }
+  const double t2 = stats::HotellingT2(WeightedStats::FromPoints(pa),
+                                       WeightedStats::FromPoints(pb),
+                                       CovarianceScheme::kInverse);
+  const Matrix a =
+      dataset::RandomNonsingularMatrix(param.dim, param.condition, rng);
+  const double t2_mapped = stats::HotellingT2(
+      WeightedStats::FromPoints(TransformAll(a, pa)),
+      WeightedStats::FromPoints(TransformAll(a, pb)),
+      CovarianceScheme::kInverse);
+  EXPECT_NEAR(t2_mapped / t2, 1.0, 1e-5);
+}
+
+TEST_P(InvarianceTest, ClusterDistanceInvariantUnderLinearMaps) {
+  const InvarianceParam param = GetParam();
+  Rng rng(param.seed + 1);
+  Cluster c(param.dim);
+  std::vector<Vector> raw;
+  for (int i = 0; i < 4 * param.dim; ++i) {
+    raw.push_back(rng.GaussianVector(param.dim));
+    c.Add(raw.back(), 1.0);
+  }
+  const Vector probe = rng.GaussianVector(param.dim);
+  const double d2 = c.DistanceSquared(probe, CovarianceScheme::kInverse, 0.0);
+
+  const Matrix a =
+      dataset::RandomNonsingularMatrix(param.dim, param.condition, rng);
+  Cluster mapped(param.dim);
+  for (const Vector& p : TransformAll(a, raw)) mapped.Add(p, 1.0);
+  const double d2_mapped =
+      mapped.DistanceSquared(a.MatVec(probe), CovarianceScheme::kInverse, 0.0);
+  EXPECT_NEAR(d2_mapped / d2, 1.0, 1e-5);
+}
+
+TEST_P(InvarianceTest, ClassifierDecisionInvariantUnderLinearMaps) {
+  const InvarianceParam param = GetParam();
+  Rng rng(param.seed + 2);
+  // Three moderately separated clusters.
+  std::vector<std::vector<Vector>> raw(3);
+  std::vector<Cluster> clusters;
+  for (int c = 0; c < 3; ++c) {
+    Cluster cluster(param.dim);
+    for (int i = 0; i < 4 * param.dim; ++i) {
+      Vector p = rng.GaussianVector(param.dim);
+      p[static_cast<std::size_t>(c % param.dim)] += 2.5 * (c + 1);
+      raw[static_cast<std::size_t>(c)].push_back(p);
+      cluster.Add(p, 1.0);
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  ClassifierOptions opt;
+  opt.scheme = CovarianceScheme::kInverse;
+  opt.min_variance = 0.0;
+
+  const Matrix a =
+      dataset::RandomNonsingularMatrix(param.dim, param.condition, rng);
+  std::vector<Cluster> mapped;
+  for (int c = 0; c < 3; ++c) {
+    Cluster cluster(param.dim);
+    for (const Vector& p : TransformAll(a, raw[static_cast<std::size_t>(c)])) {
+      cluster.Add(p, 1.0);
+    }
+    mapped.push_back(std::move(cluster));
+  }
+
+  for (int t = 0; t < 10; ++t) {
+    Vector probe = rng.GaussianVector(param.dim);
+    probe[0] += rng.Uniform(0.0, 8.0);
+    const std::vector<double> scores =
+        core::ClassificationScores(clusters, probe, opt);
+    const std::vector<double> mapped_scores =
+        core::ClassificationScores(mapped, a.MatVec(probe), opt);
+    // The individual d̂ values match up to the constant terms; the decision
+    // (argmax) must be identical, and score differences must match.
+    const auto argmax = [](const std::vector<double>& s) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < s.size(); ++i) {
+        if (s[i] > s[best]) best = i;
+      }
+      return best;
+    };
+    EXPECT_EQ(argmax(scores), argmax(mapped_scores));
+    EXPECT_NEAR((scores[0] - scores[1]) - (mapped_scores[0] - mapped_scores[1]),
+                0.0, 1e-5);
+  }
+}
+
+TEST_P(InvarianceTest, T2EqualsPcaFormOfEq18) {
+  // Eq. 17-18: rotating into the full principal basis leaves T² unchanged,
+  // and in that basis T² is a diagonal quadratic form.
+  const InvarianceParam param = GetParam();
+  Rng rng(param.seed + 3);
+  std::vector<Vector> pa, pb, all;
+  for (int i = 0; i < 5 * param.dim; ++i) {
+    pa.push_back(rng.GaussianVector(param.dim));
+    Vector b = rng.GaussianVector(param.dim);
+    b[0] += 0.8;
+    pb.push_back(b);
+    all.push_back(pa.back());
+    all.push_back(b);
+  }
+  const double t2 = stats::HotellingT2(WeightedStats::FromPoints(pa),
+                                       WeightedStats::FromPoints(pb),
+                                       CovarianceScheme::kInverse);
+  Result<linalg::Pca> pca = linalg::Pca::Fit(all);
+  ASSERT_TRUE(pca.ok());
+  const Matrix g = pca.value().components();
+  // Project through G' (a rotation: orthogonal, full rank).
+  auto project = [&g](const std::vector<Vector>& pts) {
+    std::vector<Vector> out;
+    for (const Vector& p : pts) out.push_back(g.TransposedMatVec(p));
+    return out;
+  };
+  const double t2_pca = stats::HotellingT2(
+      WeightedStats::FromPoints(project(pa)),
+      WeightedStats::FromPoints(project(pb)), CovarianceScheme::kInverse);
+  EXPECT_NEAR(t2_pca / t2, 1.0, 1e-6);
+}
+
+TEST_P(InvarianceTest, DiagonalSchemeIsNotInvariantButInverseIs) {
+  // The contrast the paper's Tables 2-3 quantify: the diagonal scheme is an
+  // approximation, so a strongly skewing transform changes its T² while the
+  // inverse scheme's stays fixed.
+  const InvarianceParam param = GetParam();
+  if (param.condition < 2.0) GTEST_SKIP() << "needs a skewing transform";
+  Rng rng(param.seed + 4);
+  std::vector<Vector> pa, pb;
+  for (int i = 0; i < 5 * param.dim; ++i) {
+    pa.push_back(rng.GaussianVector(param.dim));
+    Vector b = rng.GaussianVector(param.dim);
+    b[0] += 1.5;
+    pb.push_back(std::move(b));
+  }
+  const Matrix a =
+      dataset::RandomNonsingularMatrix(param.dim, param.condition, rng);
+  const double inv_before = stats::HotellingT2(WeightedStats::FromPoints(pa),
+                                               WeightedStats::FromPoints(pb),
+                                               CovarianceScheme::kInverse);
+  const double inv_after = stats::HotellingT2(
+      WeightedStats::FromPoints(TransformAll(a, pa)),
+      WeightedStats::FromPoints(TransformAll(a, pb)),
+      CovarianceScheme::kInverse);
+  EXPECT_NEAR(inv_after / inv_before, 1.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndConditions, InvarianceTest,
+    ::testing::Values(InvarianceParam{2, 1.0, 1001},
+                      InvarianceParam{2, 5.0, 1002},
+                      InvarianceParam{3, 3.0, 1003},
+                      InvarianceParam{4, 2.0, 1004},
+                      InvarianceParam{6, 4.0, 1005},
+                      InvarianceParam{8, 2.5, 1006},
+                      InvarianceParam{12, 3.0, 1007},
+                      InvarianceParam{16, 2.0, 1008}),
+    [](const ::testing::TestParamInfo<InvarianceParam>& info) {
+      return "dim" + std::to_string(info.param.dim) + "cond" +
+             std::to_string(static_cast<int>(info.param.condition * 10));
+    });
+
+}  // namespace
+}  // namespace qcluster

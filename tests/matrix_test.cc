@@ -1,0 +1,141 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace qcluster::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RaggedInitializerDies) {
+  EXPECT_DEATH((Matrix{{1, 2}, {3}}), "ragged");
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix id = Matrix::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, DiagonalFactory) {
+  const Matrix d = Matrix::Diagonal({2, 3});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, FromRowsAndRowCol) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.Row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (Vector{3, 6}));
+}
+
+TEST(MatrixTest, SetRowAndDiag) {
+  Matrix m(2, 2);
+  m.SetRow(0, {1, 2});
+  m.SetRow(1, {3, 4});
+  EXPECT_EQ(m.Diag(), (Vector{1, 4}));
+}
+
+TEST(MatrixTest, Transposed) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatVecAndTransposedMatVec) {
+  const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.MatVec({1, 1}), (Vector{3, 7, 11}));
+  EXPECT_EQ(m.TransposedMatVec({1, 1, 1}), (Vector{9, 12}));
+}
+
+TEST(MatrixTest, AddSubScale) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{10, 20}, {30, 40}};
+  EXPECT_TRUE(AllClose(a.Add(b), Matrix{{11, 22}, {33, 44}}, 0));
+  EXPECT_TRUE(AllClose(b.Sub(a), Matrix{{9, 18}, {27, 36}}, 0));
+  EXPECT_TRUE(AllClose(a.Scale(2), Matrix{{2, 4}, {6, 8}}, 0));
+}
+
+TEST(MatrixTest, AddToDiagonal) {
+  Matrix m{{1, 2}, {3, 4}};
+  m.AddToDiagonal(10.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 14.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+}
+
+TEST(MatrixTest, FrobeniusAndTrace) {
+  const Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m.SquaredFrobeniusNorm(), 30.0);
+  EXPECT_DOUBLE_EQ(m.Trace(), 5.0);
+}
+
+TEST(MatrixTest, IsSymmetric) {
+  EXPECT_TRUE((Matrix{{1, 2}, {2, 1}}).IsSymmetric());
+  EXPECT_FALSE((Matrix{{1, 2}, {3, 1}}).IsSymmetric());
+  EXPECT_FALSE((Matrix{{1, 2, 3}, {2, 1, 4}}).IsSymmetric());
+}
+
+TEST(MatrixTest, LeadingColumns) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix lead = m.LeadingColumns(2);
+  EXPECT_EQ(lead.cols(), 2);
+  EXPECT_DOUBLE_EQ(lead(1, 1), 5.0);
+}
+
+TEST(MatrixTest, OuterProduct) {
+  const Matrix m = OuterProduct({1, 2}, {3, 4, 5});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 10.0);
+}
+
+TEST(MatrixTest, QuadraticForm) {
+  const Matrix a{{2, 0}, {0, 3}};
+  EXPECT_DOUBLE_EQ(QuadraticForm({1, 2}, a, {1, 2}), 14.0);
+  const Matrix b{{0, 1}, {1, 0}};
+  EXPECT_DOUBLE_EQ(QuadraticForm({1, 2}, b, {3, 4}), 10.0);
+}
+
+TEST(MatrixTest, EqualityAndToString) {
+  const Matrix a{{1, 2}, {3, 4}};
+  Matrix b = a;
+  EXPECT_TRUE(a == b);
+  b(0, 0) = 0;
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+}  // namespace
+}  // namespace qcluster::linalg

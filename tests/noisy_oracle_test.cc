@@ -1,0 +1,93 @@
+// Tests for the imperfect-user model of the oracle.
+
+#include <gtest/gtest.h>
+
+#include "eval/oracle.h"
+
+namespace qcluster::eval {
+namespace {
+
+std::vector<index::Neighbor> MakeResult(int n) {
+  std::vector<index::Neighbor> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(index::Neighbor{i, static_cast<double>(i)});
+  }
+  return out;
+}
+
+TEST(NoisyOracleTest, ZeroNoiseMatchesPerfectOracle) {
+  const std::vector<int> categories{0, 0, 1, 1};
+  const std::vector<int> themes{0, 0, 0, 1};
+  OracleOptions perfect;
+  OracleOptions zero_noise;
+  zero_noise.miss_probability = 0.0;
+  zero_noise.false_mark_probability = 0.0;
+  OracleUser a(&categories, &themes, perfect);
+  OracleUser b(&categories, &themes, zero_noise);
+  const auto result = MakeResult(4);
+  const auto ma = a.Judge(result, 0, 0);
+  const auto mb = b.Judge(result, 0, 0);
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_EQ(ma[i].id, mb[i].id);
+    EXPECT_DOUBLE_EQ(ma[i].score, mb[i].score);
+  }
+}
+
+TEST(NoisyOracleTest, MissProbabilityDropsMarks) {
+  // 200 relevant images, 50% miss rate: roughly half get marked.
+  std::vector<int> categories(200, 0);
+  std::vector<int> themes(200, 0);
+  OracleOptions opt;
+  opt.miss_probability = 0.5;
+  OracleUser oracle(&categories, &themes, opt);
+  const auto marked = oracle.Judge(MakeResult(200), 0, 0);
+  EXPECT_GT(marked.size(), 60u);
+  EXPECT_LT(marked.size(), 140u);
+}
+
+TEST(NoisyOracleTest, FalseMarksIncludeIrrelevantImages) {
+  // All images irrelevant; 30% false-mark rate produces some marks, with
+  // the low-confidence score.
+  std::vector<int> categories(100, 5);  // Query category will be 0.
+  std::vector<int> themes(100, 9);      // Query theme will be 0.
+  OracleOptions opt;
+  opt.false_mark_probability = 0.3;
+  OracleUser oracle(&categories, &themes, opt);
+  const auto marked = oracle.Judge(MakeResult(100), 0, 0);
+  EXPECT_GT(marked.size(), 10u);
+  EXPECT_LT(marked.size(), 60u);
+  for (const auto& item : marked) {
+    EXPECT_DOUBLE_EQ(item.score, opt.same_theme_score);
+  }
+}
+
+TEST(NoisyOracleTest, JudgementsAreReproducible) {
+  std::vector<int> categories(50, 0);
+  std::vector<int> themes(50, 0);
+  OracleOptions opt;
+  opt.miss_probability = 0.4;
+  OracleUser oracle(&categories, &themes, opt);
+  const auto result = MakeResult(50);
+  const auto first = oracle.Judge(result, 0, 0);
+  const auto second = oracle.Judge(result, 0, 0);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].id, second[i].id);
+  }
+}
+
+TEST(NoisyOracleTest, GroundTruthPredicateUnaffectedByNoise) {
+  // Noise affects the user's marks, never the evaluation ground truth.
+  const std::vector<int> categories{0, 1};
+  const std::vector<int> themes{0, 0};
+  OracleOptions opt;
+  opt.miss_probability = 0.9;
+  OracleUser oracle(&categories, &themes, opt);
+  EXPECT_TRUE(oracle.IsRelevant(0, 0));
+  EXPECT_FALSE(oracle.IsRelevant(1, 0));
+  EXPECT_EQ(oracle.CategorySize(0), 1);
+}
+
+}  // namespace
+}  // namespace qcluster::eval

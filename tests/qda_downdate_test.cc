@@ -1,0 +1,150 @@
+// Tests for the QDA classifier variant (individual covariances, Eq. 8's
+// normal-density special case) and the WeightedStats downdate.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/classifier.h"
+#include "stats/weighted_stats.h"
+
+namespace qcluster {
+namespace {
+
+using core::ClassifierOptions;
+using core::Cluster;
+using linalg::Vector;
+
+TEST(DowndateTest, RemoveInvertsAdd) {
+  Rng rng(311);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 3 + static_cast<int>(rng.UniformInt(20));
+    std::vector<Vector> pts;
+    std::vector<double> weights;
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(rng.GaussianVector(3));
+      weights.push_back(rng.Uniform(0.5, 3.0));
+    }
+    stats::WeightedStats full = stats::WeightedStats::FromPoints(pts, weights);
+    // Remove a random point; compare against rebuilding without it.
+    const int victim = static_cast<int>(rng.UniformInt(n));
+    full.RemovePoint(pts[static_cast<std::size_t>(victim)],
+                     weights[static_cast<std::size_t>(victim)]);
+    std::vector<Vector> rest;
+    std::vector<double> rest_w;
+    for (int i = 0; i < n; ++i) {
+      if (i == victim) continue;
+      rest.push_back(pts[static_cast<std::size_t>(i)]);
+      rest_w.push_back(weights[static_cast<std::size_t>(i)]);
+    }
+    const stats::WeightedStats rebuilt =
+        stats::WeightedStats::FromPoints(rest, rest_w);
+    EXPECT_EQ(full.n(), rebuilt.n());
+    EXPECT_NEAR(full.weight(), rebuilt.weight(), 1e-9);
+    EXPECT_TRUE(linalg::AllClose(full.mean(), rebuilt.mean(), 1e-9));
+    EXPECT_TRUE(linalg::AllClose(full.scatter(), rebuilt.scatter(), 1e-7));
+  }
+}
+
+TEST(DowndateTest, RemovingLastPointEmpties) {
+  stats::WeightedStats s(2);
+  s.AddPoint({1.0, 2.0}, 3.0);
+  s.RemovePoint({1.0, 2.0}, 3.0);
+  EXPECT_EQ(s.n(), 0);
+  EXPECT_DOUBLE_EQ(s.weight(), 0.0);
+}
+
+TEST(DowndateTest, AddRemoveAddIsStable) {
+  Rng rng(312);
+  stats::WeightedStats s(2);
+  const Vector a = rng.GaussianVector(2);
+  const Vector b = rng.GaussianVector(2);
+  s.AddPoint(a, 1.0);
+  s.AddPoint(b, 2.0);
+  s.RemovePoint(b, 2.0);
+  s.AddPoint(b, 2.0);
+  const stats::WeightedStats direct =
+      stats::WeightedStats::FromPoints({a, b}, {1.0, 2.0});
+  EXPECT_TRUE(linalg::AllClose(s.mean(), direct.mean(), 1e-12));
+  EXPECT_TRUE(linalg::AllClose(s.scatter(), direct.scatter(), 1e-10));
+}
+
+Cluster MakeCluster(Rng& rng, const Vector& center, double spread, int n) {
+  Cluster c(static_cast<int>(center.size()));
+  for (int i = 0; i < n; ++i) {
+    c.Add(linalg::Add(center,
+                      linalg::Scale(
+                          rng.GaussianVector(static_cast<int>(center.size())),
+                          spread)),
+          1.0);
+  }
+  return c;
+}
+
+TEST(QdaClassifierTest, AgreesWithLdaOnEqualCovariances) {
+  Rng rng(313);
+  std::vector<Cluster> clusters;
+  clusters.push_back(MakeCluster(rng, {0, 0}, 1.0, 50));
+  clusters.push_back(MakeCluster(rng, {8, 0}, 1.0, 50));
+  ClassifierOptions lda;
+  ClassifierOptions qda = lda;
+  qda.use_individual_covariances = true;
+  for (int t = 0; t < 20; ++t) {
+    Vector probe = rng.GaussianVector(2);
+    probe[0] += rng.Uniform(0.0, 8.0);
+    const auto s_lda = ClassificationScores(clusters, probe, lda);
+    const auto s_qda = ClassificationScores(clusters, probe, qda);
+    EXPECT_EQ(s_lda[0] > s_lda[1], s_qda[0] > s_qda[1]);
+  }
+}
+
+TEST(QdaClassifierTest, RespectsClusterSpreadWhereLdaCannot) {
+  // A tight and a wide cluster with the same center distance to the probe:
+  // QDA must prefer the wide cluster (the probe is typical for it,
+  // atypical for the tight one); LDA's shared pooled metric cannot see
+  // the difference.
+  Rng rng(314);
+  std::vector<Cluster> clusters;
+  clusters.push_back(MakeCluster(rng, {-5, 0}, 0.2, 60));  // Tight.
+  clusters.push_back(MakeCluster(rng, {5, 0}, 3.0, 60));   // Wide.
+  ClassifierOptions qda;
+  qda.use_individual_covariances = true;
+  const Vector probe{0.0, 0.0};  // Equidistant from both centers.
+  const auto scores = core::ClassificationScores(clusters, probe, qda);
+  EXPECT_GT(scores[1], scores[0]);
+}
+
+TEST(QdaClassifierTest, LogDetPenalizesBloatedClusters) {
+  // At a cluster's own centroid the quadratic term vanishes; the −½ln|S|
+  // term then favors the compact cluster for points near *its* centroid.
+  Rng rng(315);
+  std::vector<Cluster> clusters;
+  clusters.push_back(MakeCluster(rng, {0, 0}, 0.2, 60));
+  clusters.push_back(MakeCluster(rng, {0.5, 0}, 6.0, 60));  // Overlapping, wide.
+  ClassifierOptions qda;
+  qda.use_individual_covariances = true;
+  const auto scores =
+      core::ClassificationScores(clusters, {0.0, 0.0}, qda);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(QdaClassifierTest, ClassifyBatchWorksWithQda) {
+  Rng rng(316);
+  std::vector<Cluster> clusters;
+  ClassifierOptions qda;
+  qda.use_individual_covariances = true;
+  qda.min_variance = 0.05;
+  std::vector<Vector> points;
+  std::vector<double> scores;
+  for (int i = 0; i < 15; ++i) {
+    points.push_back(linalg::Scale(rng.GaussianVector(2), 0.3));
+    scores.push_back(1.0);
+  }
+  core::ClassifyBatch(clusters, points, scores, qda);
+  EXPECT_GE(clusters.size(), 1u);
+  int total = 0;
+  for (const Cluster& c : clusters) total += c.size();
+  EXPECT_EQ(total, 15);
+}
+
+}  // namespace
+}  // namespace qcluster

@@ -1,0 +1,89 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qcluster::linalg {
+namespace {
+
+TEST(QrTest, FactorizesSquareMatrix) {
+  const Matrix a{{1, 2}, {3, 4}};
+  Result<QrFactor> qr = Qr(a);
+  ASSERT_TRUE(qr.ok());
+  const QrFactor& f = qr.value();
+  // Q has orthonormal columns, R is upper triangular, Q R == A.
+  EXPECT_TRUE(AllClose(f.q.Transposed().Multiply(f.q), Matrix::Identity(2),
+                       1e-10));
+  EXPECT_NEAR(f.r(1, 0), 0.0, 1e-12);
+  EXPECT_TRUE(AllClose(f.q.Multiply(f.r), a, 1e-10));
+}
+
+TEST(QrTest, FactorizesTallMatrix) {
+  Rng rng(201);
+  Matrix a(10, 4);
+  for (int r = 0; r < 10; ++r) {
+    for (int c = 0; c < 4; ++c) a(r, c) = rng.Gaussian();
+  }
+  Result<QrFactor> qr = Qr(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr.value().q.rows(), 10);
+  EXPECT_EQ(qr.value().q.cols(), 4);
+  EXPECT_TRUE(AllClose(qr.value().q.Multiply(qr.value().r), a, 1e-9));
+  EXPECT_TRUE(AllClose(qr.value().q.Transposed().Multiply(qr.value().q),
+                       Matrix::Identity(4), 1e-9));
+}
+
+TEST(QrTest, RejectsRankDeficient) {
+  // Second column is twice the first.
+  const Matrix a{{1, 2}, {2, 4}, {3, 6}};
+  EXPECT_FALSE(Qr(a).ok());
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  EXPECT_DEATH((void)Qr(Matrix{{1, 2, 3}, {4, 5, 6}}), "rows >= cols");
+}
+
+TEST(QrTest, LeastSquaresExactForConsistentSystem) {
+  const Matrix a{{2, 0}, {0, 3}};
+  Result<Vector> x = LeastSquares(a, {4, 9});
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AllClose(x.value(), Vector{2, 3}, 1e-12));
+}
+
+TEST(QrTest, LeastSquaresRecoversRegressionLine) {
+  // Fit y = 2 + 3 t on noisy samples; the normal-equation solution must be
+  // recovered to good accuracy.
+  Rng rng(202);
+  const int n = 200;
+  Matrix a(n, 2);
+  Vector b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.Uniform(-1.0, 1.0);
+    a(i, 0) = 1.0;
+    a(i, 1) = t;
+    b[static_cast<std::size_t>(i)] = 2.0 + 3.0 * t + 0.01 * rng.Gaussian();
+  }
+  Result<Vector> x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 0.01);
+  EXPECT_NEAR(x.value()[1], 3.0, 0.01);
+}
+
+TEST(QrTest, LeastSquaresMinimizesResidual) {
+  // The LS solution's residual must be orthogonal to the column space.
+  Rng rng(203);
+  Matrix a(8, 3);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 3; ++c) a(r, c) = rng.Gaussian();
+  }
+  const Vector b = rng.GaussianVector(8);
+  Result<Vector> x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  const Vector residual = linalg::Sub(b, a.MatVec(x.value()));
+  const Vector at_res = a.TransposedMatVec(residual);
+  EXPECT_NEAR(Norm(at_res), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qcluster::linalg

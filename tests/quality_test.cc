@@ -1,0 +1,83 @@
+#include "core/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qcluster::core {
+namespace {
+
+using linalg::Vector;
+
+Cluster GaussianCluster(Rng& rng, const Vector& mean, int n) {
+  Cluster c(static_cast<int>(mean.size()));
+  for (int i = 0; i < n; ++i) {
+    Vector p = rng.GaussianVector(static_cast<int>(mean.size()));
+    linalg::Axpy(1.0, mean, p);
+    c.Add(p, 1.0);
+  }
+  return c;
+}
+
+TEST(QualityTest, WellSeparatedClustersHaveLowError) {
+  Rng rng(181);
+  std::vector<Cluster> clusters;
+  clusters.push_back(GaussianCluster(rng, {0, 0}, 30));
+  clusters.push_back(GaussianCluster(rng, {20, 0}, 30));
+  const LeaveOneOutReport report =
+      LeaveOneOutError(clusters, ClassifierOptions{});
+  EXPECT_EQ(report.total, 60);
+  EXPECT_LT(report.error_rate(), 0.05);
+}
+
+TEST(QualityTest, OverlappingClustersHaveHigherError) {
+  Rng rng(182);
+  std::vector<Cluster> separated, overlapping;
+  separated.push_back(GaussianCluster(rng, {0, 0}, 30));
+  separated.push_back(GaussianCluster(rng, {15, 0}, 30));
+  overlapping.push_back(GaussianCluster(rng, {0, 0}, 30));
+  overlapping.push_back(GaussianCluster(rng, {0.5, 0}, 30));
+  const double err_sep =
+      LeaveOneOutError(separated, ClassifierOptions{}).error_rate();
+  const double err_overlap =
+      LeaveOneOutError(overlapping, ClassifierOptions{}).error_rate();
+  EXPECT_GT(err_overlap, err_sep);
+  EXPECT_GT(err_overlap, 0.2);  // Near-chance for coincident clusters.
+}
+
+TEST(QualityTest, ErrorRateDecreasesWithSeparation) {
+  // The Fig. 14-17 trend: error falls as inter-cluster distance grows.
+  Rng rng(183);
+  double previous_error = 1.0;
+  for (double distance : {0.5, 1.5, 3.0, 6.0}) {
+    std::vector<Cluster> clusters;
+    clusters.push_back(GaussianCluster(rng, {0, 0, 0}, 40));
+    clusters.push_back(GaussianCluster(rng, {distance, 0, 0}, 40));
+    clusters.push_back(GaussianCluster(rng, {0, distance, 0}, 40));
+    const double err =
+        LeaveOneOutError(clusters, ClassifierOptions{}).error_rate();
+    EXPECT_LE(err, previous_error + 0.1) << "distance=" << distance;
+    previous_error = err;
+  }
+  EXPECT_LT(previous_error, 0.05);
+}
+
+TEST(QualityTest, SingletonClusterCountsAsError) {
+  std::vector<Cluster> clusters;
+  clusters.push_back(Cluster::FromPoint({0.0, 0.0}, 1.0));
+  clusters.push_back(Cluster::FromPoint({10.0, 0.0}, 1.0));
+  const LeaveOneOutReport report =
+      LeaveOneOutError(clusters, ClassifierOptions{});
+  EXPECT_EQ(report.total, 2);
+  EXPECT_EQ(report.correct, 0);
+  EXPECT_DOUBLE_EQ(report.error_rate(), 1.0);
+}
+
+TEST(QualityTest, EmptyClusterListIsPerfect) {
+  const LeaveOneOutReport report = LeaveOneOutError({}, ClassifierOptions{});
+  EXPECT_EQ(report.total, 0);
+  EXPECT_DOUBLE_EQ(report.error_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace qcluster::core

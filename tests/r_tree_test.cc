@@ -1,0 +1,153 @@
+#include "index/r_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/disjunctive_distance.h"
+#include "index/linear_scan.h"
+
+namespace qcluster::index {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> RandomPoints(int n, int dim, Rng& rng) {
+  std::vector<Vector> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(rng.GaussianVector(dim));
+  return pts;
+}
+
+TEST(RTreeTest, InsertAndSearchMatchesLinearScan) {
+  Rng rng(331);
+  for (int n : {1, 5, 50, 400}) {
+    const std::vector<Vector> pts = RandomPoints(n, 3, rng);
+    RTree tree(&pts);
+    for (int i = 0; i < n; ++i) tree.Insert(i);
+    EXPECT_TRUE(tree.CheckInvariants()) << "n=" << n;
+    EXPECT_EQ(tree.size(), n);
+    const LinearScanIndex scan(&pts);
+    for (int q = 0; q < 5; ++q) {
+      const EuclideanDistance d(rng.GaussianVector(3));
+      EXPECT_EQ(tree.Search(d, 7), scan.Search(d, 7)) << "n=" << n;
+    }
+  }
+}
+
+TEST(RTreeTest, RemoveMaintainsCorrectness) {
+  Rng rng(332);
+  const int n = 300;
+  const std::vector<Vector> pts = RandomPoints(n, 2, rng);
+  RTree tree(&pts);
+  for (int i = 0; i < n; ++i) tree.Insert(i);
+
+  // Remove a random half.
+  std::vector<int> ids(n);
+  for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+  rng.Shuffle(ids);
+  std::set<int> removed;
+  for (int i = 0; i < n / 2; ++i) {
+    EXPECT_TRUE(tree.Remove(ids[static_cast<std::size_t>(i)]));
+    removed.insert(ids[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), n / 2);
+
+  // Search results equal a linear scan over the survivors.
+  const EuclideanDistance d({0.0, 0.0});
+  const auto result = tree.Search(d, 20);
+  std::vector<Neighbor> expected;
+  for (int i = 0; i < n; ++i) {
+    if (!removed.contains(i)) {
+      expected.push_back(
+          Neighbor{i, d.Distance(pts[static_cast<std::size_t>(i)])});
+    }
+  }
+  EXPECT_EQ(result, TopK(std::move(expected), 20));
+}
+
+TEST(RTreeTest, RemoveMissingIdReturnsFalse) {
+  Rng rng(333);
+  const std::vector<Vector> pts = RandomPoints(10, 2, rng);
+  RTree tree(&pts);
+  for (int i = 0; i < 5; ++i) tree.Insert(i);
+  EXPECT_FALSE(tree.Remove(7));
+  EXPECT_TRUE(tree.Remove(3));
+  EXPECT_FALSE(tree.Remove(3));  // Already gone.
+  EXPECT_EQ(tree.size(), 4);
+}
+
+TEST(RTreeTest, RemoveEverythingThenReinsert) {
+  Rng rng(334);
+  const std::vector<Vector> pts = RandomPoints(60, 2, rng);
+  RTree tree(&pts);
+  for (int i = 0; i < 60; ++i) tree.Insert(i);
+  for (int i = 0; i < 60; ++i) EXPECT_TRUE(tree.Remove(i));
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.Search(EuclideanDistance({0, 0}), 3).empty());
+  for (int i = 0; i < 60; ++i) tree.Insert(i);
+  EXPECT_TRUE(tree.CheckInvariants());
+  const LinearScanIndex scan(&pts);
+  const EuclideanDistance d(pts[0]);
+  EXPECT_EQ(tree.Search(d, 10), scan.Search(d, 10));
+}
+
+TEST(RTreeTest, InterleavedInsertRemoveFuzz) {
+  Rng rng(335);
+  const int universe = 500;
+  const std::vector<Vector> pts = RandomPoints(universe, 3, rng);
+  RTree tree(&pts);
+  std::set<int> live;
+  for (int step = 0; step < 2000; ++step) {
+    const int id = static_cast<int>(rng.UniformInt(universe));
+    if (live.contains(id)) {
+      EXPECT_TRUE(tree.Remove(id));
+      live.erase(id);
+    } else {
+      tree.Insert(id);
+      live.insert(id);
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), static_cast<int>(live.size()));
+
+  const EuclideanDistance d({0.0, 0.0, 0.0});
+  std::vector<Neighbor> expected;
+  for (int id : live) {
+    expected.push_back(
+        Neighbor{id, d.Distance(pts[static_cast<std::size_t>(id)])});
+  }
+  EXPECT_EQ(tree.Search(d, 25), TopK(std::move(expected), 25));
+}
+
+TEST(RTreeTest, WorksWithDisjunctiveMetric) {
+  Rng rng(336);
+  const std::vector<Vector> pts = RandomPoints(250, 3, rng);
+  RTree tree(&pts);
+  for (int i = 0; i < 250; ++i) tree.Insert(i);
+  std::vector<core::Cluster> clusters;
+  clusters.push_back(core::Cluster::FromPoint(rng.GaussianVector(3), 1.0));
+  clusters.push_back(core::Cluster::FromPoint(rng.GaussianVector(3), 2.0));
+  const core::DisjunctiveDistance dist(
+      clusters, stats::CovarianceScheme::kDiagonal, 0.5);
+  const LinearScanIndex scan(&pts);
+  EXPECT_EQ(tree.Search(dist, 15), scan.Search(dist, 15));
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  const std::vector<Vector> pts(20, Vector{1.0, 1.0});
+  RTree tree(&pts);
+  for (int i = 0; i < 20; ++i) tree.Insert(i);
+  EXPECT_TRUE(tree.CheckInvariants());
+  const auto result = tree.Search(EuclideanDistance({1.0, 1.0}), 5);
+  ASSERT_EQ(result.size(), 5u);
+  EXPECT_EQ(result[0].id, 0);
+  EXPECT_TRUE(tree.Remove(10));
+  EXPECT_EQ(tree.size(), 19);
+}
+
+}  // namespace
+}  // namespace qcluster::index

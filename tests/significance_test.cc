@@ -1,0 +1,78 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace qcluster::eval {
+namespace {
+
+TEST(PairedTTestTest, DetectsConsistentImprovement) {
+  Rng rng(221);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng.Uniform(0.2, 0.6);
+    b.push_back(base);
+    a.push_back(base + 0.05 + 0.01 * rng.Gaussian());
+  }
+  Result<PairedTTest> t = PairedDifferenceTest(a, b);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t.value().significant);
+  EXPECT_NEAR(t.value().mean_difference, 0.05, 0.01);
+  EXPECT_LT(t.value().p_value, 1e-6);
+}
+
+TEST(PairedTTestTest, AcceptsPureNoise) {
+  Rng rng(222);
+  int significant = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 20; ++i) {
+      const double base = rng.Uniform(0.0, 1.0);
+      a.push_back(base + 0.1 * rng.Gaussian());
+      b.push_back(base + 0.1 * rng.Gaussian());
+    }
+    Result<PairedTTest> t = PairedDifferenceTest(a, b);
+    ASSERT_TRUE(t.ok());
+    if (t.value().significant) ++significant;
+  }
+  EXPECT_LE(significant, 6);  // ~5% false positives expected.
+}
+
+TEST(PairedTTestTest, TwoSidedSymmetry) {
+  std::vector<double> a{0.5, 0.6, 0.7, 0.8};
+  std::vector<double> b{0.6, 0.7, 0.8, 0.9};
+  Result<PairedTTest> ab = PairedDifferenceTest(a, b);
+  Result<PairedTTest> ba = PairedDifferenceTest(b, a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_NEAR(ab.value().p_value, ba.value().p_value, 1e-12);
+  EXPECT_NEAR(ab.value().t_statistic, -ba.value().t_statistic, 1e-12);
+}
+
+TEST(PairedTTestTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a{0.1, 0.2, 0.3};
+  Result<PairedTTest> t = PairedDifferenceTest(a, a);
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(t.value().significant);
+  EXPECT_DOUBLE_EQ(t.value().p_value, 1.0);
+}
+
+TEST(PairedTTestTest, ConstantNonzeroShiftIsSignificant) {
+  const std::vector<double> a{0.2, 0.3, 0.4};
+  const std::vector<double> b{0.1, 0.2, 0.3};
+  Result<PairedTTest> t = PairedDifferenceTest(a, b);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t.value().significant);
+  // The numerical difference variance may be ~1e-34 instead of exactly 0;
+  // either way the p-value must be vanishing.
+  EXPECT_LT(t.value().p_value, 1e-10);
+}
+
+TEST(PairedTTestTest, RejectsBadInput) {
+  EXPECT_FALSE(PairedDifferenceTest({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(PairedDifferenceTest({1.0}, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace qcluster::eval

@@ -1,0 +1,96 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qcluster::stats {
+namespace {
+
+TEST(LogGammaTest, MatchesFactorials) {
+  // Γ(n) = (n-1)!.
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Γ(1/2) = sqrt(pi).
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  // Γ(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(LogGammaTest, MatchesStdLgamma) {
+  for (double x : {0.1, 0.7, 1.3, 2.5, 7.9, 25.0, 120.5}) {
+    EXPECT_NEAR(LogGamma(x), std::lgamma(x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(RegularizedGammaTest, ComplementsSumToOne) {
+  for (double a : {0.5, 1.0, 3.0, 10.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedIncompleteBetaTest, BoundaryAndSymmetry) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.1, 0.4, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 1.5, x),
+                1.0 - RegularizedIncompleteBeta(1.5, 2.5, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(RegularizedIncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(RegularizedIncompleteBetaTest, KnownValue) {
+  // I_{0.5}(2, 2) = 0.5 by symmetry; I_x(1, 2) = 1-(1-x)^2.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 2.0, 0.3), 1.0 - 0.49, 1e-12);
+}
+
+TEST(StandardNormalTest, CdfKnownValues) {
+  EXPECT_NEAR(StandardNormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(StandardNormalCdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(StandardNormalCdf(-1.96), 0.025, 1e-4);
+  EXPECT_NEAR(StandardNormalCdf(3.0), 0.99865, 1e-5);
+}
+
+TEST(StandardNormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999}) {
+    EXPECT_NEAR(StandardNormalCdf(StandardNormalQuantile(p)), p, 1e-10)
+        << "p=" << p;
+  }
+}
+
+TEST(StandardNormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(StandardNormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(StandardNormalQuantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(StandardNormalQuantile(0.95), 1.644854, 1e-5);
+}
+
+}  // namespace
+}  // namespace qcluster::stats

@@ -1,0 +1,115 @@
+#include "index/va_file.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "core/disjunctive_distance.h"
+#include "index/linear_scan.h"
+
+namespace qcluster::index {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> RandomPoints(int n, int dim, Rng& rng) {
+  std::vector<Vector> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(rng.GaussianVector(dim));
+  return pts;
+}
+
+TEST(VaFileTest, MatchesLinearScanEuclidean) {
+  Rng rng(301);
+  for (int n : {1, 20, 300}) {
+    const std::vector<Vector> pts = RandomPoints(n, 4, rng);
+    const VaFile va(&pts);
+    const LinearScanIndex scan(&pts);
+    for (int q = 0; q < 8; ++q) {
+      const EuclideanDistance d(rng.GaussianVector(4));
+      EXPECT_EQ(va.Search(d, 9), scan.Search(d, 9)) << "n=" << n;
+    }
+  }
+}
+
+TEST(VaFileTest, MatchesLinearScanWeighted) {
+  Rng rng(302);
+  const std::vector<Vector> pts = RandomPoints(400, 3, rng);
+  const VaFile va(&pts);
+  const LinearScanIndex scan(&pts);
+  for (int q = 0; q < 8; ++q) {
+    Vector w(3);
+    for (double& x : w) x = rng.Uniform(0.1, 4.0);
+    const WeightedEuclideanDistance d(rng.GaussianVector(3), w);
+    EXPECT_EQ(va.Search(d, 12), scan.Search(d, 12));
+  }
+}
+
+TEST(VaFileTest, MatchesLinearScanDisjunctive) {
+  Rng rng(303);
+  const std::vector<Vector> pts = RandomPoints(400, 3, rng);
+  const VaFile va(&pts);
+  const LinearScanIndex scan(&pts);
+  std::vector<core::Cluster> clusters;
+  clusters.push_back(core::Cluster::FromPoint(rng.GaussianVector(3), 1.0));
+  clusters.push_back(core::Cluster::FromPoint(rng.GaussianVector(3), 2.0));
+  const core::DisjunctiveDistance d(
+      clusters, stats::CovarianceScheme::kDiagonal, 0.5);
+  EXPECT_EQ(va.Search(d, 20), scan.Search(d, 20));
+}
+
+TEST(VaFileTest, PrunesExactEvaluations) {
+  Rng rng(304);
+  const std::vector<Vector> pts = RandomPoints(5000, 4, rng);
+  VaFile::Options opt;
+  opt.bits_per_dim = 6;
+  const VaFile va(&pts, opt);
+  SearchStats stats;
+  va.Search(EuclideanDistance(rng.GaussianVector(4)), 10, &stats);
+  // Only a small fraction of the database is evaluated exactly.
+  EXPECT_LT(stats.distance_evaluations, 1000);
+}
+
+TEST(VaFileTest, MoreBitsPruneBetter) {
+  Rng rng(305);
+  const std::vector<Vector> pts = RandomPoints(3000, 4, rng);
+  VaFile::Options coarse;
+  coarse.bits_per_dim = 2;
+  VaFile::Options fine;
+  fine.bits_per_dim = 7;
+  const VaFile va_coarse(&pts, coarse);
+  const VaFile va_fine(&pts, fine);
+  const EuclideanDistance d(rng.GaussianVector(4));
+  SearchStats sc, sf;
+  const auto rc = va_coarse.Search(d, 10, &sc);
+  const auto rf = va_fine.Search(d, 10, &sf);
+  EXPECT_EQ(rc, rf);  // Both exact.
+  EXPECT_LT(sf.distance_evaluations, sc.distance_evaluations);
+}
+
+TEST(VaFileTest, DuplicateAndDegenerateData) {
+  // All points identical: every cell rect degenerates; search must still
+  // return k distinct ids.
+  const std::vector<Vector> pts(10, Vector{1.0, 1.0});
+  const VaFile va(&pts);
+  const auto result = va.Search(EuclideanDistance({1.0, 1.0}), 4);
+  ASSERT_EQ(result.size(), 4u);
+  EXPECT_EQ(result[0].id, 0);
+  EXPECT_EQ(result[3].id, 3);
+}
+
+TEST(VaFileTest, EmptyDatabase) {
+  const std::vector<Vector> pts;
+  const VaFile va(&pts);
+  EXPECT_TRUE(va.Search(EuclideanDistance({0.0}), 3).empty());
+}
+
+TEST(VaFileTest, ApproximationIsCompact) {
+  Rng rng(306);
+  const std::vector<Vector> pts = RandomPoints(1000, 4, rng);
+  const VaFile va(&pts);
+  // One byte per dimension per point vs 8 bytes for the double.
+  EXPECT_EQ(va.approximation_bytes(), 4000u);
+}
+
+}  // namespace
+}  // namespace qcluster::index

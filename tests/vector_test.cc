@@ -1,0 +1,53 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qcluster::linalg {
+namespace {
+
+TEST(VectorTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorTest, DotMismatchedSizesDies) {
+  EXPECT_DEATH((void)Dot({1.0}, {1.0, 2.0}), "size");
+}
+
+TEST(VectorTest, Norms) {
+  const Vector v{3, 4};
+  EXPECT_DOUBLE_EQ(Norm(v), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(v), 25.0);
+}
+
+TEST(VectorTest, Distances) {
+  const Vector a{1, 1};
+  const Vector b{4, 5};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+}
+
+TEST(VectorTest, AddSubScale) {
+  const Vector a{1, 2};
+  const Vector b{10, 20};
+  EXPECT_EQ(Add(a, b), (Vector{11, 22}));
+  EXPECT_EQ(Sub(b, a), (Vector{9, 18}));
+  EXPECT_EQ(Scale(a, 3.0), (Vector{3, 6}));
+}
+
+TEST(VectorTest, Axpy) {
+  Vector y{1, 1, 1};
+  Axpy(2.0, {1, 2, 3}, y);
+  EXPECT_EQ(y, (Vector{3, 5, 7}));
+}
+
+TEST(VectorTest, AllClose) {
+  EXPECT_TRUE(AllClose({1.0, 2.0}, {1.0 + 1e-10, 2.0}, 1e-9));
+  EXPECT_FALSE(AllClose({1.0, 2.0}, {1.1, 2.0}, 1e-9));
+  EXPECT_FALSE(AllClose({1.0}, {1.0, 2.0}, 1e-9));
+}
+
+}  // namespace
+}  // namespace qcluster::linalg
