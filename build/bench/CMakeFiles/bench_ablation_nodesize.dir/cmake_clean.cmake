@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nodesize.dir/bench_ablation_nodesize.cc.o"
+  "CMakeFiles/bench_ablation_nodesize.dir/bench_ablation_nodesize.cc.o.d"
+  "bench_ablation_nodesize"
+  "bench_ablation_nodesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nodesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

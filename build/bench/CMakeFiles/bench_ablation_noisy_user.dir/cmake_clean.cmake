@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_noisy_user.dir/bench_ablation_noisy_user.cc.o"
+  "CMakeFiles/bench_ablation_noisy_user.dir/bench_ablation_noisy_user.cc.o.d"
+  "bench_ablation_noisy_user"
+  "bench_ablation_noisy_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_noisy_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

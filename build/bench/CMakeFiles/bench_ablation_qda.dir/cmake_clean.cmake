@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qda.dir/bench_ablation_qda.cc.o"
+  "CMakeFiles/bench_ablation_qda.dir/bench_ablation_qda.cc.o.d"
+  "bench_ablation_qda"
+  "bench_ablation_qda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_matrix_scheme.dir/bench_fig06_matrix_scheme.cc.o"
+  "CMakeFiles/bench_fig06_matrix_scheme.dir/bench_fig06_matrix_scheme.cc.o.d"
+  "bench_fig06_matrix_scheme"
+  "bench_fig06_matrix_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_matrix_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_recall_color.dir/bench_fig10_recall_color.cc.o"
+  "CMakeFiles/bench_fig10_recall_color.dir/bench_fig10_recall_color.cc.o.d"
+  "bench_fig10_recall_color"
+  "bench_fig10_recall_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_recall_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

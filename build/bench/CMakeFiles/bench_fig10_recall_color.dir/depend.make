@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_recall_color.
+# This may be replaced when dependencies are built.

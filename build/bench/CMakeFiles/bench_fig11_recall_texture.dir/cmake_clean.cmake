@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_recall_texture.dir/bench_fig11_recall_texture.cc.o"
+  "CMakeFiles/bench_fig11_recall_texture.dir/bench_fig11_recall_texture.cc.o.d"
+  "bench_fig11_recall_texture"
+  "bench_fig11_recall_texture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_recall_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

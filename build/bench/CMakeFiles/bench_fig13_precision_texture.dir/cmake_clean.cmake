@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_precision_texture.dir/bench_fig13_precision_texture.cc.o"
+  "CMakeFiles/bench_fig13_precision_texture.dir/bench_fig13_precision_texture.cc.o.d"
+  "bench_fig13_precision_texture"
+  "bench_fig13_precision_texture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_precision_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_19_qq.dir/bench_fig18_19_qq.cc.o"
+  "CMakeFiles/bench_fig18_19_qq.dir/bench_fig18_19_qq.cc.o.d"
+  "bench_fig18_19_qq"
+  "bench_fig18_19_qq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_19_qq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

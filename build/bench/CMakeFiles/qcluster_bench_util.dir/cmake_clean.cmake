@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/qcluster_bench_util.dir/bench_util.cc.o.d"
+  "libqcluster_bench_util.a"
+  "libqcluster_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqcluster_bench_util.a"
+)

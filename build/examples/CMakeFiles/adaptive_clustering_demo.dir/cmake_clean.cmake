@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_clustering_demo.dir/adaptive_clustering_demo.cpp.o"
+  "CMakeFiles/adaptive_clustering_demo.dir/adaptive_clustering_demo.cpp.o.d"
+  "adaptive_clustering_demo"
+  "adaptive_clustering_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_clustering_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjunctive_query.dir/disjunctive_query.cpp.o"
+  "CMakeFiles/disjunctive_query.dir/disjunctive_query.cpp.o.d"
+  "disjunctive_query"
+  "disjunctive_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjunctive_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

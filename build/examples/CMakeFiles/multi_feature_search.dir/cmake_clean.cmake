@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_feature_search.dir/multi_feature_search.cpp.o"
+  "CMakeFiles/multi_feature_search.dir/multi_feature_search.cpp.o.d"
+  "multi_feature_search"
+  "multi_feature_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_feature_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_feature_search.
+# This may be replaced when dependencies are built.

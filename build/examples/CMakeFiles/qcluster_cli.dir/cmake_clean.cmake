@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_cli.dir/qcluster_cli.cpp.o"
+  "CMakeFiles/qcluster_cli.dir/qcluster_cli.cpp.o.d"
+  "qcluster_cli"
+  "qcluster_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_collection.dir/render_collection.cpp.o"
+  "CMakeFiles/render_collection.dir/render_collection.cpp.o.d"
+  "render_collection"
+  "render_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

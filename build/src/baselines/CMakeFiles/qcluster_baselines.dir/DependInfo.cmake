@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/falcon.cc" "src/baselines/CMakeFiles/qcluster_baselines.dir/falcon.cc.o" "gcc" "src/baselines/CMakeFiles/qcluster_baselines.dir/falcon.cc.o.d"
+  "/root/repo/src/baselines/mindreader.cc" "src/baselines/CMakeFiles/qcluster_baselines.dir/mindreader.cc.o" "gcc" "src/baselines/CMakeFiles/qcluster_baselines.dir/mindreader.cc.o.d"
+  "/root/repo/src/baselines/qex.cc" "src/baselines/CMakeFiles/qcluster_baselines.dir/qex.cc.o" "gcc" "src/baselines/CMakeFiles/qcluster_baselines.dir/qex.cc.o.d"
+  "/root/repo/src/baselines/qpm.cc" "src/baselines/CMakeFiles/qcluster_baselines.dir/qpm.cc.o" "gcc" "src/baselines/CMakeFiles/qcluster_baselines.dir/qpm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qcluster_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qcluster_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qcluster_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcluster_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qcluster_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_baselines.dir/falcon.cc.o"
+  "CMakeFiles/qcluster_baselines.dir/falcon.cc.o.d"
+  "CMakeFiles/qcluster_baselines.dir/mindreader.cc.o"
+  "CMakeFiles/qcluster_baselines.dir/mindreader.cc.o.d"
+  "CMakeFiles/qcluster_baselines.dir/qex.cc.o"
+  "CMakeFiles/qcluster_baselines.dir/qex.cc.o.d"
+  "CMakeFiles/qcluster_baselines.dir/qpm.cc.o"
+  "CMakeFiles/qcluster_baselines.dir/qpm.cc.o.d"
+  "libqcluster_baselines.a"
+  "libqcluster_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_common.dir/logging.cc.o"
+  "CMakeFiles/qcluster_common.dir/logging.cc.o.d"
+  "CMakeFiles/qcluster_common.dir/rng.cc.o"
+  "CMakeFiles/qcluster_common.dir/rng.cc.o.d"
+  "CMakeFiles/qcluster_common.dir/status.cc.o"
+  "CMakeFiles/qcluster_common.dir/status.cc.o.d"
+  "libqcluster_common.a"
+  "libqcluster_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

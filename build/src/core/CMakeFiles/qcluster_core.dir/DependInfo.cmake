@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/qcluster_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/qcluster_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/qcluster_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/qcluster_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/disjunctive_distance.cc" "src/core/CMakeFiles/qcluster_core.dir/disjunctive_distance.cc.o" "gcc" "src/core/CMakeFiles/qcluster_core.dir/disjunctive_distance.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/qcluster_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/qcluster_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/hierarchical.cc" "src/core/CMakeFiles/qcluster_core.dir/hierarchical.cc.o" "gcc" "src/core/CMakeFiles/qcluster_core.dir/hierarchical.cc.o.d"
+  "/root/repo/src/core/merging.cc" "src/core/CMakeFiles/qcluster_core.dir/merging.cc.o" "gcc" "src/core/CMakeFiles/qcluster_core.dir/merging.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/core/CMakeFiles/qcluster_core.dir/quality.cc.o" "gcc" "src/core/CMakeFiles/qcluster_core.dir/quality.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/qcluster_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/qcluster_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/qcluster_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qcluster_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qcluster_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcluster_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_core.dir/classifier.cc.o"
+  "CMakeFiles/qcluster_core.dir/classifier.cc.o.d"
+  "CMakeFiles/qcluster_core.dir/cluster.cc.o"
+  "CMakeFiles/qcluster_core.dir/cluster.cc.o.d"
+  "CMakeFiles/qcluster_core.dir/disjunctive_distance.cc.o"
+  "CMakeFiles/qcluster_core.dir/disjunctive_distance.cc.o.d"
+  "CMakeFiles/qcluster_core.dir/engine.cc.o"
+  "CMakeFiles/qcluster_core.dir/engine.cc.o.d"
+  "CMakeFiles/qcluster_core.dir/hierarchical.cc.o"
+  "CMakeFiles/qcluster_core.dir/hierarchical.cc.o.d"
+  "CMakeFiles/qcluster_core.dir/merging.cc.o"
+  "CMakeFiles/qcluster_core.dir/merging.cc.o.d"
+  "CMakeFiles/qcluster_core.dir/quality.cc.o"
+  "CMakeFiles/qcluster_core.dir/quality.cc.o.d"
+  "CMakeFiles/qcluster_core.dir/session.cc.o"
+  "CMakeFiles/qcluster_core.dir/session.cc.o.d"
+  "libqcluster_core.a"
+  "libqcluster_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

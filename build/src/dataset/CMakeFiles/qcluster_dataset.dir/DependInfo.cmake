@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/feature_database.cc" "src/dataset/CMakeFiles/qcluster_dataset.dir/feature_database.cc.o" "gcc" "src/dataset/CMakeFiles/qcluster_dataset.dir/feature_database.cc.o.d"
+  "/root/repo/src/dataset/feature_io.cc" "src/dataset/CMakeFiles/qcluster_dataset.dir/feature_io.cc.o" "gcc" "src/dataset/CMakeFiles/qcluster_dataset.dir/feature_io.cc.o.d"
+  "/root/repo/src/dataset/image_collection.cc" "src/dataset/CMakeFiles/qcluster_dataset.dir/image_collection.cc.o" "gcc" "src/dataset/CMakeFiles/qcluster_dataset.dir/image_collection.cc.o.d"
+  "/root/repo/src/dataset/synthetic_gaussian.cc" "src/dataset/CMakeFiles/qcluster_dataset.dir/synthetic_gaussian.cc.o" "gcc" "src/dataset/CMakeFiles/qcluster_dataset.dir/synthetic_gaussian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/qcluster_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qcluster_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcluster_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_dataset.dir/feature_database.cc.o"
+  "CMakeFiles/qcluster_dataset.dir/feature_database.cc.o.d"
+  "CMakeFiles/qcluster_dataset.dir/feature_io.cc.o"
+  "CMakeFiles/qcluster_dataset.dir/feature_io.cc.o.d"
+  "CMakeFiles/qcluster_dataset.dir/image_collection.cc.o"
+  "CMakeFiles/qcluster_dataset.dir/image_collection.cc.o.d"
+  "CMakeFiles/qcluster_dataset.dir/synthetic_gaussian.cc.o"
+  "CMakeFiles/qcluster_dataset.dir/synthetic_gaussian.cc.o.d"
+  "libqcluster_dataset.a"
+  "libqcluster_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

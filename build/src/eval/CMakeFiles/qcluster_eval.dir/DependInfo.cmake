@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/fusion.cc" "src/eval/CMakeFiles/qcluster_eval.dir/fusion.cc.o" "gcc" "src/eval/CMakeFiles/qcluster_eval.dir/fusion.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/qcluster_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/qcluster_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/oracle.cc" "src/eval/CMakeFiles/qcluster_eval.dir/oracle.cc.o" "gcc" "src/eval/CMakeFiles/qcluster_eval.dir/oracle.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/eval/CMakeFiles/qcluster_eval.dir/significance.cc.o" "gcc" "src/eval/CMakeFiles/qcluster_eval.dir/significance.cc.o.d"
+  "/root/repo/src/eval/simulator.cc" "src/eval/CMakeFiles/qcluster_eval.dir/simulator.cc.o" "gcc" "src/eval/CMakeFiles/qcluster_eval.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qcluster_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qcluster_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcluster_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qcluster_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qcluster_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_eval.dir/fusion.cc.o"
+  "CMakeFiles/qcluster_eval.dir/fusion.cc.o.d"
+  "CMakeFiles/qcluster_eval.dir/metrics.cc.o"
+  "CMakeFiles/qcluster_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/qcluster_eval.dir/oracle.cc.o"
+  "CMakeFiles/qcluster_eval.dir/oracle.cc.o.d"
+  "CMakeFiles/qcluster_eval.dir/significance.cc.o"
+  "CMakeFiles/qcluster_eval.dir/significance.cc.o.d"
+  "CMakeFiles/qcluster_eval.dir/simulator.cc.o"
+  "CMakeFiles/qcluster_eval.dir/simulator.cc.o.d"
+  "libqcluster_eval.a"
+  "libqcluster_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

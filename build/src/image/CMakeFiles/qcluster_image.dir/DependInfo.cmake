@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/color_histogram.cc" "src/image/CMakeFiles/qcluster_image.dir/color_histogram.cc.o" "gcc" "src/image/CMakeFiles/qcluster_image.dir/color_histogram.cc.o.d"
+  "/root/repo/src/image/color_moments.cc" "src/image/CMakeFiles/qcluster_image.dir/color_moments.cc.o" "gcc" "src/image/CMakeFiles/qcluster_image.dir/color_moments.cc.o.d"
+  "/root/repo/src/image/draw.cc" "src/image/CMakeFiles/qcluster_image.dir/draw.cc.o" "gcc" "src/image/CMakeFiles/qcluster_image.dir/draw.cc.o.d"
+  "/root/repo/src/image/glcm.cc" "src/image/CMakeFiles/qcluster_image.dir/glcm.cc.o" "gcc" "src/image/CMakeFiles/qcluster_image.dir/glcm.cc.o.d"
+  "/root/repo/src/image/image.cc" "src/image/CMakeFiles/qcluster_image.dir/image.cc.o" "gcc" "src/image/CMakeFiles/qcluster_image.dir/image.cc.o.d"
+  "/root/repo/src/image/ppm_io.cc" "src/image/CMakeFiles/qcluster_image.dir/ppm_io.cc.o" "gcc" "src/image/CMakeFiles/qcluster_image.dir/ppm_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qcluster_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcluster_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

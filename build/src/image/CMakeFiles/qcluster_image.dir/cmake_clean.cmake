@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_image.dir/color_histogram.cc.o"
+  "CMakeFiles/qcluster_image.dir/color_histogram.cc.o.d"
+  "CMakeFiles/qcluster_image.dir/color_moments.cc.o"
+  "CMakeFiles/qcluster_image.dir/color_moments.cc.o.d"
+  "CMakeFiles/qcluster_image.dir/draw.cc.o"
+  "CMakeFiles/qcluster_image.dir/draw.cc.o.d"
+  "CMakeFiles/qcluster_image.dir/glcm.cc.o"
+  "CMakeFiles/qcluster_image.dir/glcm.cc.o.d"
+  "CMakeFiles/qcluster_image.dir/image.cc.o"
+  "CMakeFiles/qcluster_image.dir/image.cc.o.d"
+  "CMakeFiles/qcluster_image.dir/ppm_io.cc.o"
+  "CMakeFiles/qcluster_image.dir/ppm_io.cc.o.d"
+  "libqcluster_image.a"
+  "libqcluster_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

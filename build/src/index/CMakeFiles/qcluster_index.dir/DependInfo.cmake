@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/br_tree.cc" "src/index/CMakeFiles/qcluster_index.dir/br_tree.cc.o" "gcc" "src/index/CMakeFiles/qcluster_index.dir/br_tree.cc.o.d"
+  "/root/repo/src/index/distance.cc" "src/index/CMakeFiles/qcluster_index.dir/distance.cc.o" "gcc" "src/index/CMakeFiles/qcluster_index.dir/distance.cc.o.d"
+  "/root/repo/src/index/incremental.cc" "src/index/CMakeFiles/qcluster_index.dir/incremental.cc.o" "gcc" "src/index/CMakeFiles/qcluster_index.dir/incremental.cc.o.d"
+  "/root/repo/src/index/linear_scan.cc" "src/index/CMakeFiles/qcluster_index.dir/linear_scan.cc.o" "gcc" "src/index/CMakeFiles/qcluster_index.dir/linear_scan.cc.o.d"
+  "/root/repo/src/index/r_tree.cc" "src/index/CMakeFiles/qcluster_index.dir/r_tree.cc.o" "gcc" "src/index/CMakeFiles/qcluster_index.dir/r_tree.cc.o.d"
+  "/root/repo/src/index/va_file.cc" "src/index/CMakeFiles/qcluster_index.dir/va_file.cc.o" "gcc" "src/index/CMakeFiles/qcluster_index.dir/va_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qcluster_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcluster_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_index.dir/br_tree.cc.o"
+  "CMakeFiles/qcluster_index.dir/br_tree.cc.o.d"
+  "CMakeFiles/qcluster_index.dir/distance.cc.o"
+  "CMakeFiles/qcluster_index.dir/distance.cc.o.d"
+  "CMakeFiles/qcluster_index.dir/incremental.cc.o"
+  "CMakeFiles/qcluster_index.dir/incremental.cc.o.d"
+  "CMakeFiles/qcluster_index.dir/linear_scan.cc.o"
+  "CMakeFiles/qcluster_index.dir/linear_scan.cc.o.d"
+  "CMakeFiles/qcluster_index.dir/r_tree.cc.o"
+  "CMakeFiles/qcluster_index.dir/r_tree.cc.o.d"
+  "CMakeFiles/qcluster_index.dir/va_file.cc.o"
+  "CMakeFiles/qcluster_index.dir/va_file.cc.o.d"
+  "libqcluster_index.a"
+  "libqcluster_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_linalg.dir/decomposition.cc.o"
+  "CMakeFiles/qcluster_linalg.dir/decomposition.cc.o.d"
+  "CMakeFiles/qcluster_linalg.dir/eigen_sym.cc.o"
+  "CMakeFiles/qcluster_linalg.dir/eigen_sym.cc.o.d"
+  "CMakeFiles/qcluster_linalg.dir/matrix.cc.o"
+  "CMakeFiles/qcluster_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/qcluster_linalg.dir/pca.cc.o"
+  "CMakeFiles/qcluster_linalg.dir/pca.cc.o.d"
+  "CMakeFiles/qcluster_linalg.dir/qr.cc.o"
+  "CMakeFiles/qcluster_linalg.dir/qr.cc.o.d"
+  "CMakeFiles/qcluster_linalg.dir/vector.cc.o"
+  "CMakeFiles/qcluster_linalg.dir/vector.cc.o.d"
+  "libqcluster_linalg.a"
+  "libqcluster_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

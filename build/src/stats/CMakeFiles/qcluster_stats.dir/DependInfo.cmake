@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/box_m.cc" "src/stats/CMakeFiles/qcluster_stats.dir/box_m.cc.o" "gcc" "src/stats/CMakeFiles/qcluster_stats.dir/box_m.cc.o.d"
+  "/root/repo/src/stats/covariance_scheme.cc" "src/stats/CMakeFiles/qcluster_stats.dir/covariance_scheme.cc.o" "gcc" "src/stats/CMakeFiles/qcluster_stats.dir/covariance_scheme.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/qcluster_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/qcluster_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/hotelling.cc" "src/stats/CMakeFiles/qcluster_stats.dir/hotelling.cc.o" "gcc" "src/stats/CMakeFiles/qcluster_stats.dir/hotelling.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/stats/CMakeFiles/qcluster_stats.dir/special_functions.cc.o" "gcc" "src/stats/CMakeFiles/qcluster_stats.dir/special_functions.cc.o.d"
+  "/root/repo/src/stats/weighted_stats.cc" "src/stats/CMakeFiles/qcluster_stats.dir/weighted_stats.cc.o" "gcc" "src/stats/CMakeFiles/qcluster_stats.dir/weighted_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/qcluster_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcluster_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcluster_stats.dir/box_m.cc.o"
+  "CMakeFiles/qcluster_stats.dir/box_m.cc.o.d"
+  "CMakeFiles/qcluster_stats.dir/covariance_scheme.cc.o"
+  "CMakeFiles/qcluster_stats.dir/covariance_scheme.cc.o.d"
+  "CMakeFiles/qcluster_stats.dir/distributions.cc.o"
+  "CMakeFiles/qcluster_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/qcluster_stats.dir/hotelling.cc.o"
+  "CMakeFiles/qcluster_stats.dir/hotelling.cc.o.d"
+  "CMakeFiles/qcluster_stats.dir/special_functions.cc.o"
+  "CMakeFiles/qcluster_stats.dir/special_functions.cc.o.d"
+  "CMakeFiles/qcluster_stats.dir/weighted_stats.cc.o"
+  "CMakeFiles/qcluster_stats.dir/weighted_stats.cc.o.d"
+  "libqcluster_stats.a"
+  "libqcluster_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcluster_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/color_histogram_test.dir/color_histogram_test.cc.o"
+  "CMakeFiles/color_histogram_test.dir/color_histogram_test.cc.o.d"
+  "color_histogram_test"
+  "color_histogram_test.pdb"
+  "color_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/color_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covariance_scheme_test.dir/covariance_scheme_test.cc.o"
+  "CMakeFiles/covariance_scheme_test.dir/covariance_scheme_test.cc.o.d"
+  "covariance_scheme_test"
+  "covariance_scheme_test.pdb"
+  "covariance_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covariance_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

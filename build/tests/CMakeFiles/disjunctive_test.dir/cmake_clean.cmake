@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjunctive_test.dir/disjunctive_test.cc.o"
+  "CMakeFiles/disjunctive_test.dir/disjunctive_test.cc.o.d"
+  "disjunctive_test"
+  "disjunctive_test.pdb"
+  "disjunctive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjunctive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_pca_test.dir/eigen_pca_test.cc.o"
+  "CMakeFiles/eigen_pca_test.dir/eigen_pca_test.cc.o.d"
+  "eigen_pca_test"
+  "eigen_pca_test.pdb"
+  "eigen_pca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_pca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

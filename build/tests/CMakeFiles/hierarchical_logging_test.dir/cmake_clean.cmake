@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_logging_test.dir/hierarchical_logging_test.cc.o"
+  "CMakeFiles/hierarchical_logging_test.dir/hierarchical_logging_test.cc.o.d"
+  "hierarchical_logging_test"
+  "hierarchical_logging_test.pdb"
+  "hierarchical_logging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotelling_test.dir/hotelling_test.cc.o"
+  "CMakeFiles/hotelling_test.dir/hotelling_test.cc.o.d"
+  "hotelling_test"
+  "hotelling_test.pdb"
+  "hotelling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotelling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

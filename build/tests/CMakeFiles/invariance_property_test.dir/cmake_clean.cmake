@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariance_property_test.dir/invariance_property_test.cc.o"
+  "CMakeFiles/invariance_property_test.dir/invariance_property_test.cc.o.d"
+  "invariance_property_test"
+  "invariance_property_test.pdb"
+  "invariance_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariance_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

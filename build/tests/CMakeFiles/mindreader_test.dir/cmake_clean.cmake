@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mindreader_test.dir/mindreader_test.cc.o"
+  "CMakeFiles/mindreader_test.dir/mindreader_test.cc.o.d"
+  "mindreader_test"
+  "mindreader_test.pdb"
+  "mindreader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mindreader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

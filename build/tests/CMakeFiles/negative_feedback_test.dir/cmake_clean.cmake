@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_feedback_test.dir/negative_feedback_test.cc.o"
+  "CMakeFiles/negative_feedback_test.dir/negative_feedback_test.cc.o.d"
+  "negative_feedback_test"
+  "negative_feedback_test.pdb"
+  "negative_feedback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

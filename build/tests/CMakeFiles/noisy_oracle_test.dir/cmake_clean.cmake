@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_oracle_test.dir/noisy_oracle_test.cc.o"
+  "CMakeFiles/noisy_oracle_test.dir/noisy_oracle_test.cc.o.d"
+  "noisy_oracle_test"
+  "noisy_oracle_test.pdb"
+  "noisy_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

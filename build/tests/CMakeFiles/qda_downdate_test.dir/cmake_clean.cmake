@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qda_downdate_test.dir/qda_downdate_test.cc.o"
+  "CMakeFiles/qda_downdate_test.dir/qda_downdate_test.cc.o.d"
+  "qda_downdate_test"
+  "qda_downdate_test.pdb"
+  "qda_downdate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qda_downdate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

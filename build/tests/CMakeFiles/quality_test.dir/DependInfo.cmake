@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quality_test.cc" "tests/CMakeFiles/quality_test.dir/quality_test.cc.o" "gcc" "tests/CMakeFiles/quality_test.dir/quality_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/qcluster_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/qcluster_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qcluster_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/qcluster_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/qcluster_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qcluster_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qcluster_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/qcluster_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcluster_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r_tree_test.dir/r_tree_test.cc.o"
+  "CMakeFiles/r_tree_test.dir/r_tree_test.cc.o.d"
+  "r_tree_test"
+  "r_tree_test.pdb"
+  "r_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

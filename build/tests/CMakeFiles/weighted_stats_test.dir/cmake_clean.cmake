@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_stats_test.dir/weighted_stats_test.cc.o"
+  "CMakeFiles/weighted_stats_test.dir/weighted_stats_test.cc.o.d"
+  "weighted_stats_test"
+  "weighted_stats_test.pdb"
+  "weighted_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
