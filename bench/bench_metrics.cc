@@ -1,0 +1,42 @@
+// Compiled into every benchmark binary (see bench/CMakeLists.txt): turns
+// metrics collection on at process start and dumps the registry as
+// BENCH_<binary>.json at exit, so each bench_* run leaves a machine-readable
+// record of its per-phase timers and session-aggregated index counters
+// alongside the printed figures. This file seeds the BENCH_* trajectory
+// that future performance PRs diff against.
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace qcluster::bench {
+namespace {
+
+std::string BenchBinaryName() {
+#ifdef __GLIBC__
+  return program_invocation_short_name;
+#else
+  return "bench";
+#endif
+}
+
+[[maybe_unused]] const bool g_bench_metrics_init = [] {
+  SetMetricsEnabled(true);
+  std::atexit([] {
+    const std::string path = "BENCH_" + BenchBinaryName() + ".json";
+    const Status status = MetricsRegistry::Global().DumpMetrics(path);
+    if (status.ok()) {
+      QCLUSTER_LOG(kInfo) << "metrics registry dumped to " << path;
+    } else {
+      QCLUSTER_LOG(kWarning) << "metrics dump failed: " << status.ToString();
+    }
+  });
+  return true;
+}();
+
+}  // namespace
+}  // namespace qcluster::bench

@@ -23,8 +23,14 @@
 //   clusters                  print Qcluster's current clusters
 //   metrics                   precision/recall of the current result
 //   help, quit
+//
+// Flags (consumed before the command script):
+//   --metrics                 collect per-phase metrics, dump JSON to stderr
+//                             at exit
+//   --metrics=PATH            same, but dump to PATH
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -35,6 +41,7 @@
 #include "baselines/mindreader.h"
 #include "baselines/qex.h"
 #include "baselines/qpm.h"
+#include "common/metrics.h"
 #include "core/engine.h"
 #include "dataset/feature_database.h"
 #include "dataset/feature_io.h"
@@ -326,16 +333,48 @@ bool Execute(CliState& state, const std::string& line) {
   return true;
 }
 
+/// Where the --metrics dump goes at exit; empty while disabled.
+std::string g_metrics_target;
+
+void DumpCliMetrics() {
+  if (g_metrics_target.empty()) return;
+  if (g_metrics_target == "stderr") {
+    qcluster::MetricsRegistry::Global().DumpMetricsToStderr();
+    return;
+  }
+  const qcluster::Status status =
+      qcluster::MetricsRegistry::Global().DumpMetrics(g_metrics_target);
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics dump failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliState state;
-  if (argc > 1) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics") {
+      g_metrics_target = "stderr";
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      g_metrics_target = arg.substr(std::string("--metrics=").size());
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (!g_metrics_target.empty()) {
+    qcluster::SetMetricsEnabled(true);
+    std::atexit(DumpCliMetrics);
+  }
+  if (!args.empty()) {
     // Arguments joined, ';'-separated commands.
     std::string script;
-    for (int i = 1; i < argc; ++i) {
-      if (i > 1) script += ' ';
-      script += argv[i];
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) script += ' ';
+      script += args[i];
     }
     std::istringstream lines(script);
     std::string line;

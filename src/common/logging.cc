@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace qcluster {
 namespace {
@@ -33,6 +35,32 @@ LogLevel GetLogLevel() {
 }
 
 namespace internal {
+
+/// Applies QCLUSTER_LOG_LEVEL=debug|info|warning|error so verbosity is
+/// controllable without code changes. Unknown values are reported once and
+/// ignored.
+bool InitLoggingFromEnv() {
+  static const bool applied = [] {
+    const char* level = std::getenv("QCLUSTER_LOG_LEVEL");
+    if (level == nullptr || level[0] == '\0') return false;
+    if (std::strcmp(level, "debug") == 0) {
+      SetLogLevel(LogLevel::kDebug);
+    } else if (std::strcmp(level, "info") == 0) {
+      SetLogLevel(LogLevel::kInfo);
+    } else if (std::strcmp(level, "warning") == 0) {
+      SetLogLevel(LogLevel::kWarning);
+    } else if (std::strcmp(level, "error") == 0) {
+      SetLogLevel(LogLevel::kError);
+    } else {
+      std::fprintf(stderr,
+                   "qcluster: ignoring unknown QCLUSTER_LOG_LEVEL '%s' "
+                   "(expected debug|info|warning|error)\n",
+                   level);
+    }
+    return true;
+  }();
+  return applied;
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {

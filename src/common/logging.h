@@ -17,6 +17,13 @@ LogLevel GetLogLevel();
 
 namespace internal {
 
+/// Applies QCLUSTER_LOG_LEVEL from the environment; idempotent. The inline
+/// variable below references it from every translation unit that includes
+/// this header, so the initializer survives static-library linking even in
+/// binaries that never call a symbol from logging.cc.
+bool InitLoggingFromEnv();
+inline const bool kLoggingEnvApplied = InitLoggingFromEnv();
+
 /// Stream-style log sink that emits a line to stderr on destruction.
 class LogMessage {
  public:

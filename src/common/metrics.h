@@ -1,0 +1,203 @@
+#ifndef QCLUSTER_COMMON_METRICS_H_
+#define QCLUSTER_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qcluster {
+
+/// Process-wide observability for the feedback loop: named monotonic
+/// counters, gauges, and latency histograms, collected into a single
+/// registry and exported as JSON. Collection is gated by a global enable
+/// flag (off by default) so the un-instrumented fast path costs one relaxed
+/// atomic load per site; compiling with -DQCLUSTER_DISABLE_METRICS removes
+/// the timer macro entirely.
+///
+/// Enablement happens either programmatically (SetMetricsEnabled) or via
+/// the environment, parsed at process start next to QCLUSTER_LOG_LEVEL:
+///
+///   QCLUSTER_METRICS=stderr           collect, dump JSON to stderr at exit
+///   QCLUSTER_METRICS=/path/to/m.json  collect, dump JSON to the file at exit
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Add(long long delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// A last-value-wins instantaneous measurement.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A histogram over fixed log-scale buckets (4 buckets per octave starting
+/// at 1 ns), suitable for latencies in seconds and for counts. Recording is
+/// lock-free; percentiles are estimated from the bucket the quantile falls
+/// in (geometric bucket midpoint, clamped to the observed min/max — the
+/// estimate is within one bucket ratio, ~19%, of the true value).
+class Histogram {
+ public:
+  /// Bucket i covers (kMinValue·r^(i-1), kMinValue·r^i] with r = 2^(1/4).
+  /// 192 buckets span 1e-9 .. ~2.8e5 (nanoseconds to ~3 days in seconds).
+  static constexpr int kNumBuckets = 192;
+  static constexpr int kBucketsPerOctave = 4;
+  static constexpr double kMinValue = 1e-9;
+
+  void Record(double value);
+
+  struct Snapshot {
+    long long count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  /// Upper edge of bucket `i` (exposed for tests).
+  static double BucketUpperEdge(int i);
+  /// Bucket index a value lands in (exposed for tests).
+  static int BucketIndex(double value);
+
+ private:
+  double Percentile(double q, long long count, double min, double max) const;
+
+  std::atomic<long long> buckets_[kNumBuckets] = {};
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Owner of every named metric. Metric objects live for the registry's
+/// lifetime, so call sites may cache the returned references.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all instrumentation.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Create-or-get. Thread-safe; the reference stays valid until Reset.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Read access for tests and exporters. nullopt / 0 when the metric has
+  /// never been touched.
+  long long CounterValue(std::string_view name) const;
+  std::optional<double> GaugeValue(std::string_view name) const;
+  std::optional<Histogram::Snapshot> HistogramSnapshot(
+      std::string_view name) const;
+
+  /// Drops every metric (test isolation and bench run boundaries).
+  void Reset();
+
+  /// Serializes all metrics to a stable, alphabetically ordered JSON
+  /// document:
+  ///   {"schema": "qcluster.metrics.v1",
+  ///    "counters": {name: integer, ...},
+  ///    "gauges": {name: number, ...},
+  ///    "histograms": {name: {"count": n, "sum": s, "min": m, "max": M,
+  ///                          "p50": v, "p95": v, "p99": v}, ...}}
+  std::string ToJson() const;
+
+  /// Writes ToJson() (plus a trailing newline) to `path`.
+  Status DumpMetrics(const std::string& path) const;
+
+  /// Writes ToJson() to stderr.
+  void DumpMetricsToStderr() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Global collection switch. Off by default; flipped by QCLUSTER_METRICS or
+/// explicitly (bench harness, tests, --metrics flags).
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+namespace internal {
+
+/// Applies QCLUSTER_METRICS from the environment and registers the exit
+/// dump; idempotent. Referenced from the inline variable below so the
+/// initializer survives static-library linking in every binary that
+/// includes this header.
+bool InitMetricsFromEnv();
+inline const bool kMetricsEnvApplied = InitMetricsFromEnv();
+
+}  // namespace internal
+
+/// Gated instrumentation helpers: no-ops (beyond one relaxed atomic load)
+/// while metrics are disabled.
+void MetricAdd(std::string_view name, long long delta = 1);
+void MetricGauge(std::string_view name, double value);
+void MetricRecord(std::string_view name, double value);
+
+/// RAII timer recording its scope's wall time (seconds) into the named
+/// histogram. Skips the clock reads entirely while metrics are disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name)
+      : name_(MetricsEnabled() ? name : nullptr) {
+    if (name_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (name_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      MetricRecord(name_,
+                   std::chrono::duration<double>(elapsed).count());
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace qcluster
+
+/// Times the rest of the enclosing scope into histogram `name`.
+/// Usage: QCLUSTER_TIMED("feedback.classify");
+#ifdef QCLUSTER_DISABLE_METRICS
+#define QCLUSTER_TIMED(name)
+#else
+#define QCLUSTER_TIMED_CONCAT2(a, b) a##b
+#define QCLUSTER_TIMED_CONCAT(a, b) QCLUSTER_TIMED_CONCAT2(a, b)
+#define QCLUSTER_TIMED(name)                 \
+  ::qcluster::ScopedTimer QCLUSTER_TIMED_CONCAT(qcluster_scoped_timer_, \
+                                                __COUNTER__)(name)
+#endif
+
+#endif  // QCLUSTER_COMMON_METRICS_H_

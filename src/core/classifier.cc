@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "linalg/decomposition.h"
 #include "stats/distributions.h"
 #include "stats/weighted_stats.h"
@@ -110,12 +111,15 @@ std::vector<ClassificationDecision> ClassifyBatch(
     std::vector<Cluster>& clusters, const std::vector<Vector>& points,
     const std::vector<double>& scores, const ClassifierOptions& options) {
   QCLUSTER_CHECK(points.size() == scores.size());
+  QCLUSTER_TIMED("classifier.batch");
+  MetricAdd("classifier.points", static_cast<long long>(points.size()));
   std::vector<ClassificationDecision> decisions;
   decisions.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     QCLUSTER_CHECK(scores[i] > 0.0);
     if (clusters.empty()) {
       clusters.push_back(Cluster::FromPoint(points[i], scores[i]));
+      MetricAdd("classifier.new_clusters");
       ClassificationDecision d;
       d.cluster = 0;
       decisions.push_back(d);
@@ -124,8 +128,10 @@ std::vector<ClassificationDecision> ClassifyBatch(
     ClassificationDecision d = Classify(clusters, points[i], options);
     if (d.cluster >= 0) {
       clusters[static_cast<std::size_t>(d.cluster)].Add(points[i], scores[i]);
+      MetricAdd("classifier.assigned");
     } else {
       clusters.push_back(Cluster::FromPoint(points[i], scores[i]));
+      MetricAdd("classifier.new_clusters");
     }
     decisions.push_back(d);
   }

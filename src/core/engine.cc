@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace qcluster::core {
 
@@ -23,6 +24,8 @@ QclusterEngine::QclusterEngine(const std::vector<Vector>* database,
 
 std::vector<index::Neighbor> QclusterEngine::InitialQuery(
     const Vector& query) {
+  QCLUSTER_TIMED("engine.initial_query");
+  MetricAdd("engine.initial_queries");
   Reset();
   const index::EuclideanDistance dist(query);
   return RunQuery(dist);
@@ -30,6 +33,7 @@ std::vector<index::Neighbor> QclusterEngine::InitialQuery(
 
 std::vector<index::Neighbor> QclusterEngine::Feedback(
     const std::vector<RelevantItem>& marked) {
+  QCLUSTER_TIMED("feedback.total");
   // Collect the genuinely new relevant points.
   std::vector<Vector> points;
   std::vector<double> scores;
@@ -43,39 +47,51 @@ std::vector<index::Neighbor> QclusterEngine::Feedback(
   }
   QCLUSTER_CHECK_MSG(!clusters_.empty() || !points.empty(),
                      "feedback requires at least one relevant image");
+  MetricAdd("engine.feedback.new_points",
+            static_cast<long long>(points.size()));
 
-  if (clusters_.empty()) {
-    // First round: hierarchical clustering of the relevant set
-    // (Algorithm 1 step 1).
-    HierarchicalOptions h;
-    h.target_clusters = options_.initial_clusters;
-    clusters_ = HierarchicalCluster(points, scores, h);
-  } else if (!points.empty()) {
-    // Later rounds: adaptive classification (Algorithm 2), under the floor
-    // established by the previous round's clusters.
-    ClassifierOptions c;
-    c.alpha = options_.alpha;
-    c.scheme = options_.scheme;
-    c.min_variance = floor_ > 0.0 ? floor_ : options_.min_variance;
-    c.use_individual_covariances = options_.use_individual_covariances;
-    ClassifyBatch(clusters_, points, scores, c);
+  {
+    QCLUSTER_TIMED("feedback.classify");
+    if (clusters_.empty()) {
+      // First round: hierarchical clustering of the relevant set
+      // (Algorithm 1 step 1).
+      HierarchicalOptions h;
+      h.target_clusters = options_.initial_clusters;
+      clusters_ = HierarchicalCluster(points, scores, h);
+    } else if (!points.empty()) {
+      // Later rounds: adaptive classification (Algorithm 2), under the floor
+      // established by the previous round's clusters.
+      ClassifierOptions c;
+      c.alpha = options_.alpha;
+      c.scheme = options_.scheme;
+      c.min_variance = floor_ > 0.0 ? floor_ : options_.min_variance;
+      c.use_individual_covariances = options_.use_individual_covariances;
+      ClassifyBatch(clusters_, points, scores, c);
+    }
   }
   UpdateVarianceFloor();
 
-  // Cluster merging (Algorithm 3).
-  MergeOptions m;
-  m.alpha = options_.alpha;
-  m.max_clusters = options_.max_clusters;
-  m.scheme = options_.scheme;
-  m.min_variance = floor_;
-  MergeClusters(clusters_, m);
+  {
+    // Cluster merging (Algorithm 3).
+    QCLUSTER_TIMED("feedback.merge");
+    MergeOptions m;
+    m.alpha = options_.alpha;
+    m.max_clusters = options_.max_clusters;
+    m.scheme = options_.scheme;
+    m.min_variance = floor_;
+    MergeClusters(clusters_, m);
+  }
   UpdateVarianceFloor();
 
   ++iteration_;
+  MetricAdd("engine.feedback.rounds");
+  MetricGauge("engine.clusters", static_cast<double>(clusters_.size()));
+  QCLUSTER_TIMED("feedback.knn_query");
   return RunQuery(CurrentDistance());
 }
 
 void QclusterEngine::UpdateVarianceFloor() {
+  QCLUSTER_TIMED("feedback.variance_floor");
   floor_ = options_.min_variance;
   if (options_.adaptive_floor_fraction <= 0.0 || clusters_.empty()) return;
   // Mean diagonal of the pooled within-cluster covariance (Eq. 7 without

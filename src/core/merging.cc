@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "stats/box_m.h"
 #include "stats/distributions.h"
 #include "stats/hotelling.h"
@@ -88,6 +89,7 @@ MergeReport MergeClusters(std::vector<Cluster>& clusters,
   QCLUSTER_CHECK(options.max_clusters >= 1);
   QCLUSTER_CHECK(0.0 < options.alpha && options.alpha < 1.0);
   QCLUSTER_CHECK(0.0 < options.alpha_relax && options.alpha_relax < 1.0);
+  QCLUSTER_TIMED("merge.pass");
 
   MergeReport report;
   double alpha = options.alpha;
@@ -116,6 +118,9 @@ MergeReport MergeClusters(std::vector<Cluster>& clusters,
     ++report.merges;
     ++report.forced_merges;
   }
+  MetricAdd("merge.passes");
+  MetricAdd("merge.merges", report.merges);
+  MetricAdd("merge.forced_merges", report.forced_merges);
   return report;
 }
 

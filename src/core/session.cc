@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace qcluster::core {
 
@@ -14,6 +15,8 @@ RetrievalSession::RetrievalSession(
 
 std::vector<index::Neighbor> RetrievalSession::Start(
     const linalg::Vector& query) {
+  QCLUSTER_TIMED("session.start");
+  MetricAdd("session.starts");
   query_ = query;
   history_.clear();
   initial_result_ = engine_.InitialQuery(query);
@@ -24,6 +27,7 @@ std::vector<index::Neighbor> RetrievalSession::Start(
 std::vector<index::Neighbor> RetrievalSession::Feedback(
     const std::vector<RelevantItem>& marked) {
   QCLUSTER_CHECK_MSG(started(), "call Start before Feedback");
+  QCLUSTER_TIMED("session.round");
   SessionRound round;
   round.marked = marked;
   round.result = engine_.Feedback(marked);
@@ -31,12 +35,16 @@ std::vector<index::Neighbor> RetrievalSession::Feedback(
   round.search_stats = engine_.last_search_stats();
   current_result_ = round.result;
   history_.push_back(std::move(round));
+  MetricAdd("session.rounds");
+  MetricGauge("session.clusters",
+              static_cast<double>(engine_.clusters().size()));
   return current_result_;
 }
 
 bool RetrievalSession::Undo() {
   if (history_.empty()) return false;
   history_.pop_back();
+  MetricAdd("session.undos");
   Replay();
   return true;
 }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace qcluster::index {
 
@@ -92,6 +93,8 @@ std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
                                          SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   if (root_ < 0) return {};
+  QCLUSTER_TIMED("index.br_tree.search");
+  SearchStats local;
 
   const auto neighbor_cmp = [](const Neighbor& a, const Neighbor& b) {
     if (a.distance != b.distance) return a.distance < b.distance;
@@ -127,7 +130,7 @@ std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
     for (int id : warm_cache->candidates_) {
       if (!warm_ids.insert(id).second) continue;
       offer(id, dist.Distance((*points_)[static_cast<std::size_t>(id)]));
-      if (stats != nullptr) ++stats->distance_evaluations;
+      ++local.distance_evaluations;
       if (touched != nullptr) touched->candidates_.push_back(id);
     }
     if (touched != nullptr) touched->leaves_ = warm_cache->leaves_;
@@ -152,20 +155,20 @@ std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
     frontier.pop();
     if (entry.bound > kth_bound()) break;  // Nothing closer remains.
     const Node& node = nodes_[static_cast<std::size_t>(entry.node)];
-    if (stats != nullptr) ++stats->nodes_visited;
+    ++local.nodes_visited;
     if (node.IsLeaf()) {
       // A leaf whose page is in the iteration cache costs no IO and its
       // points were already offered during the warm phase.
       if (warm_cache != nullptr && warm_cache->leaves_.contains(entry.node)) {
         continue;
       }
-      if (stats != nullptr) ++stats->leaves_visited;
+      ++local.leaves_visited;
       if (touched != nullptr) touched->leaves_.insert(entry.node);
       for (int i = node.begin; i < node.end; ++i) {
         const int id = ids_[static_cast<std::size_t>(i)];
         if (!warm_ids.empty() && warm_ids.contains(id)) continue;
         offer(id, dist.Distance((*points_)[static_cast<std::size_t>(id)]));
-        if (stats != nullptr) ++stats->distance_evaluations;
+        ++local.distance_evaluations;
         if (touched != nullptr) touched->candidates_.push_back(id);
       }
     } else {
@@ -182,6 +185,8 @@ std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
     result[i] = best.top();
     best.pop();
   }
+  if (warm_cache != nullptr) MetricAdd("index.br_tree.warm_searches");
+  FinishSearch("index.br_tree", local, stats);
   return result;
 }
 

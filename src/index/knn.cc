@@ -1,0 +1,20 @@
+#include "index/knn.h"
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace qcluster::index {
+
+void FinishSearch(const char* index_name, const SearchStats& delta,
+                  SearchStats* out) {
+  if (out != nullptr) *out += delta;
+  if (!MetricsEnabled()) return;
+  const std::string prefix(index_name);
+  MetricAdd(prefix + ".searches");
+  MetricAdd(prefix + ".distance_evaluations", delta.distance_evaluations);
+  MetricAdd(prefix + ".nodes_visited", delta.nodes_visited);
+  MetricAdd(prefix + ".leaves_visited", delta.leaves_visited);
+}
+
+}  // namespace qcluster::index

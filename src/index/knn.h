@@ -21,7 +21,23 @@ struct SearchStats {
   long long distance_evaluations = 0;  ///< Point-level metric evaluations.
   long long nodes_visited = 0;         ///< Tree nodes expanded (0 for scans).
   long long leaves_visited = 0;        ///< Leaf nodes expanded.
+
+  SearchStats& operator+=(const SearchStats& other) {
+    distance_evaluations += other.distance_evaluations;
+    nodes_visited += other.nodes_visited;
+    leaves_visited += other.leaves_visited;
+    return *this;
+  }
 };
+
+/// Finalizes one search's cost accounting: accumulates `delta` into the
+/// caller's `out` (when non-null) and, when metrics are enabled, folds it
+/// into the global registry under `<index_name>.searches`,
+/// `<index_name>.distance_evaluations`, `<index_name>.nodes_visited`, and
+/// `<index_name>.leaves_visited`, so per-query SearchStats also aggregate
+/// across a whole session.
+void FinishSearch(const char* index_name, const SearchStats& delta,
+                  SearchStats* out);
 
 /// Interface of a k-nearest-neighbor search structure over an immutable
 /// point database. Implementations must return results sorted by ascending

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace qcluster::index {
 
@@ -14,14 +15,15 @@ LinearScanIndex::LinearScanIndex(const std::vector<linalg::Vector>* points)
 std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
                                               int k, SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
+  QCLUSTER_TIMED("index.linear_scan.search");
   std::vector<Neighbor> all;
   all.reserve(points_->size());
   for (std::size_t i = 0; i < points_->size(); ++i) {
     all.push_back(Neighbor{static_cast<int>(i), dist.Distance((*points_)[i])});
   }
-  if (stats != nullptr) {
-    stats->distance_evaluations += static_cast<long long>(points_->size());
-  }
+  SearchStats local;
+  local.distance_evaluations = static_cast<long long>(points_->size());
+  FinishSearch("index.linear_scan", local, stats);
   return TopK(std::move(all), k);
 }
 

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace qcluster::index {
 
@@ -329,6 +330,8 @@ std::vector<Neighbor> RTree::Search(const DistanceFunction& dist, int k,
                                     SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   if (root_ < 0) return {};
+  QCLUSTER_TIMED("index.r_tree.search");
+  SearchStats local;
 
   const auto neighbor_cmp = [](const Neighbor& a, const Neighbor& b) {
     if (a.distance != b.distance) return a.distance < b.distance;
@@ -360,13 +363,13 @@ std::vector<Neighbor> RTree::Search(const DistanceFunction& dist, int k,
     frontier.pop();
     if (entry.bound > kth_bound()) break;
     const Node& node = nodes_[static_cast<std::size_t>(entry.node)];
-    if (stats != nullptr) ++stats->nodes_visited;
+    ++local.nodes_visited;
     if (node.leaf) {
-      if (stats != nullptr) ++stats->leaves_visited;
+      ++local.leaves_visited;
       for (int id : node.children) {
         const double d =
             dist.Distance((*points_)[static_cast<std::size_t>(id)]);
-        if (stats != nullptr) ++stats->distance_evaluations;
+        ++local.distance_evaluations;
         if (static_cast<int>(best.size()) < k) {
           best.push(Neighbor{id, d});
         } else if (d < best.top().distance ||
@@ -389,6 +392,7 @@ std::vector<Neighbor> RTree::Search(const DistanceFunction& dist, int k,
     result[i] = best.top();
     best.pop();
   }
+  FinishSearch("index.r_tree", local, stats);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "index/linear_scan.h"
 
 namespace qcluster::index {
@@ -61,6 +62,8 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
                                      SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   if (points_->empty()) return {};
+  QCLUSTER_TIMED("index.va_file.search");
+  SearchStats local;
 
   // Phase 1: lower bound per point from its cell rectangle.
   struct Candidate {
@@ -92,7 +95,7 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
     }
     const double d =
         dist.Distance((*points_)[static_cast<std::size_t>(c.id)]);
-    if (stats != nullptr) ++stats->distance_evaluations;
+    ++local.distance_evaluations;
     if (static_cast<int>(best.size()) < k) {
       best.push(Neighbor{c.id, d});
     } else if (d < best.top().distance ||
@@ -107,6 +110,7 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
     result[i] = best.top();
     best.pop();
   }
+  FinishSearch("index.va_file", local, stats);
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "index/linear_scan.h"
 
@@ -82,6 +83,52 @@ TEST(QclusterEngineTest, FeedbackBuildsClusters) {
   EXPECT_EQ(engine.iteration(), 1);
   EXPECT_FALSE(engine.clusters().empty());
   EXPECT_LE(engine.clusters().size(), 4u);
+}
+
+TEST(QclusterEngineTest, FeedbackPopulatesPhaseTimers) {
+  MetricsRegistry::Global().Reset();
+  SetMetricsEnabled(true);
+  Rng rng(142);
+  const BimodalWorld world(rng);
+  const index::LinearScanIndex idx(&world.points);
+  QclusterEngine engine(&world.points, &idx, SmallOptions());
+  auto result = engine.InitialQuery(world.points[0]);
+  std::vector<RelevantItem> marked;
+  for (const auto& n : result) {
+    if (world.IsRelevant(n.id)) marked.push_back({n.id, 1.0});
+  }
+  ASSERT_FALSE(marked.empty());
+  engine.Feedback(marked);
+  SetMetricsEnabled(false);
+
+  auto& registry = MetricsRegistry::Global();
+  // One feedback round populates every phase timer exactly once...
+  for (const char* phase :
+       {"feedback.total", "feedback.classify", "feedback.merge",
+        "feedback.knn_query"}) {
+    const auto snap = registry.HistogramSnapshot(phase);
+    ASSERT_TRUE(snap.has_value()) << phase;
+    EXPECT_EQ(snap->count, 1) << phase;
+    EXPECT_GE(snap->min, 0.0) << phase;
+  }
+  // ...except the variance floor, recomputed after classify and after merge.
+  const auto floor_snap = registry.HistogramSnapshot("feedback.variance_floor");
+  ASSERT_TRUE(floor_snap.has_value());
+  EXPECT_EQ(floor_snap->count, 2);
+  // The phases nest inside the total.
+  EXPECT_LE(registry.HistogramSnapshot("feedback.classify")->sum,
+            registry.HistogramSnapshot("feedback.total")->sum);
+  // Round counters and the cluster gauge follow along.
+  EXPECT_EQ(registry.CounterValue("engine.feedback.rounds"), 1);
+  EXPECT_EQ(registry.CounterValue("engine.initial_queries"), 1);
+  ASSERT_TRUE(registry.GaugeValue("engine.clusters").has_value());
+  EXPECT_EQ(*registry.GaugeValue("engine.clusters"),
+            static_cast<double>(engine.clusters().size()));
+  // The k-NN rounds folded the linear scan's cost into session counters.
+  EXPECT_EQ(registry.CounterValue("index.linear_scan.searches"), 2);
+  EXPECT_GT(registry.CounterValue("index.linear_scan.distance_evaluations"),
+            0);
+  MetricsRegistry::Global().Reset();
 }
 
 TEST(QclusterEngineTest, RecallImprovesOverIterations) {

@@ -1,0 +1,212 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qcluster {
+namespace {
+
+/// Every test runs against the global registry; isolate them.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    SetMetricsEnabled(true);
+  }
+  void TearDown() override {
+    SetMetricsEnabled(false);
+    MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  MetricAdd("test.counter");
+  MetricAdd("test.counter", 41);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("test.counter"), 42);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("never.touched"), 0);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  EXPECT_FALSE(
+      MetricsRegistry::Global().GaugeValue("test.gauge").has_value());
+  MetricGauge("test.gauge", 3.0);
+  MetricGauge("test.gauge", 5.5);
+  ASSERT_TRUE(MetricsRegistry::Global().GaugeValue("test.gauge").has_value());
+  EXPECT_DOUBLE_EQ(*MetricsRegistry::Global().GaugeValue("test.gauge"), 5.5);
+}
+
+TEST_F(MetricsTest, HistogramTracksCountSumMinMax) {
+  for (double v : {0.001, 0.002, 0.004, 0.008}) MetricRecord("test.h", v);
+  const auto snap = MetricsRegistry::Global().HistogramSnapshot("test.h");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->count, 4);
+  EXPECT_NEAR(snap->sum, 0.015, 1e-12);
+  EXPECT_DOUBLE_EQ(snap->min, 0.001);
+  EXPECT_DOUBLE_EQ(snap->max, 0.008);
+}
+
+TEST_F(MetricsTest, BucketEdgesAreMonotoneLogScale) {
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_GT(Histogram::BucketUpperEdge(i), Histogram::BucketUpperEdge(i - 1));
+  }
+  // One octave spans kBucketsPerOctave buckets.
+  EXPECT_NEAR(Histogram::BucketUpperEdge(Histogram::kBucketsPerOctave - 1) /
+                  Histogram::kMinValue,
+              2.0, 1e-9);
+  // Values land in the bucket whose upper edge bounds them.
+  for (double v : {1e-8, 1e-6, 1e-3, 0.5, 1.0, 60.0}) {
+    const int idx = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperEdge(idx) * (1 + 1e-12));
+    if (idx > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperEdge(idx - 1) * (1 - 1e-12));
+    }
+  }
+}
+
+TEST_F(MetricsTest, PercentilesApproximateTheDistribution) {
+  // 100 equally frequent values 1ms..100ms: p50 ≈ 50ms, p95 ≈ 95ms,
+  // p99 ≈ 99ms. The log-bucket estimate is within one bucket ratio
+  // (2^(1/4) ≈ 1.19) of the true quantile.
+  for (int i = 1; i <= 100; ++i) {
+    MetricRecord("test.p", 1e-3 * static_cast<double>(i));
+  }
+  const auto snap = MetricsRegistry::Global().HistogramSnapshot("test.p");
+  ASSERT_TRUE(snap.has_value());
+  const double ratio = 1.1892071150027210667;  // 2^(1/4)
+  EXPECT_GE(snap->p50, 0.050 / ratio);
+  EXPECT_LE(snap->p50, 0.050 * ratio);
+  EXPECT_GE(snap->p95, 0.095 / ratio);
+  EXPECT_LE(snap->p95, 0.095 * ratio);
+  EXPECT_GE(snap->p99, 0.099 / ratio);
+  EXPECT_LE(snap->p99, 0.099 * ratio);
+  // Percentiles are ordered and inside the observed range.
+  EXPECT_LE(snap->min, snap->p50);
+  EXPECT_LE(snap->p50, snap->p95);
+  EXPECT_LE(snap->p95, snap->p99);
+  EXPECT_LE(snap->p99, snap->max);
+}
+
+TEST_F(MetricsTest, SingleValuePercentilesEqualTheValue) {
+  MetricRecord("test.one", 0.25);
+  const auto snap = MetricsRegistry::Global().HistogramSnapshot("test.one");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_DOUBLE_EQ(snap->p50, 0.25);
+  EXPECT_DOUBLE_EQ(snap->p99, 0.25);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        MetricAdd("test.race.counter");
+        MetricRecord("test.race.hist", 1e-3);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("test.race.counter"),
+            kThreads * kPerThread);
+  const auto snap =
+      MetricsRegistry::Global().HistogramSnapshot("test.race.hist");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->count, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(snap->min, 1e-3);
+  EXPECT_DOUBLE_EQ(snap->max, 1e-3);
+}
+
+TEST_F(MetricsTest, ToJsonHasStableSchema) {
+  MetricAdd("b.counter", 7);
+  MetricAdd("a.counter", 3);
+  MetricGauge("g.clusters", 4.0);
+  MetricRecord("h.latency", 0.5);
+  const std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_NE(json.find("\"schema\": \"qcluster.metrics.v1\""),
+            std::string::npos);
+  // Counters are alphabetically ordered for stable diffs.
+  EXPECT_LT(json.find("\"a.counter\": 3"), json.find("\"b.counter\": 7"));
+  EXPECT_NE(json.find("\"g.clusters\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"h.latency\": {\"count\": 1"), std::string::npos);
+  for (const char* key : {"\"p50\"", "\"p95\"", "\"p99\"", "\"min\"",
+                          "\"max\"", "\"sum\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Structurally balanced (a cheap well-formedness check without a parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(MetricsTest, DumpRoundTripsThroughFile) {
+  MetricAdd("dump.counter", 9);
+  MetricRecord("dump.hist", 0.125);
+  const std::string path = ::testing::TempDir() + "metrics_dump_test.json";
+  ASSERT_TRUE(MetricsRegistry::Global().DumpMetrics(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, MetricsRegistry::Global().ToJson() + "\n");
+}
+
+TEST_F(MetricsTest, DumpToMissingDirectoryFails) {
+  EXPECT_FALSE(MetricsRegistry::Global()
+                   .DumpMetrics("/nonexistent-dir/metrics.json")
+                   .ok());
+}
+
+TEST_F(MetricsTest, DisabledModeRecordsNothing) {
+  SetMetricsEnabled(false);
+  MetricAdd("off.counter");
+  MetricGauge("off.gauge", 1.0);
+  MetricRecord("off.hist", 1.0);
+  {
+    QCLUSTER_TIMED("off.timer");
+  }
+  SetMetricsEnabled(true);  // Re-enable to read back.
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("off.counter"), 0);
+  EXPECT_FALSE(MetricsRegistry::Global().GaugeValue("off.gauge").has_value());
+  EXPECT_FALSE(
+      MetricsRegistry::Global().HistogramSnapshot("off.hist").has_value());
+  EXPECT_FALSE(
+      MetricsRegistry::Global().HistogramSnapshot("off.timer").has_value());
+  const std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_EQ(json.find("off."), std::string::npos);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsElapsedSeconds) {
+  {
+    QCLUSTER_TIMED("timed.scope");
+  }
+  const auto snap =
+      MetricsRegistry::Global().HistogramSnapshot("timed.scope");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->count, 1);
+  EXPECT_GE(snap->min, 0.0);
+  EXPECT_LT(snap->max, 1.0);  // An empty scope is far below a second.
+}
+
+TEST_F(MetricsTest, ResetDropsEverything) {
+  MetricAdd("reset.counter");
+  MetricRecord("reset.hist", 1.0);
+  MetricsRegistry::Global().Reset();
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("reset.counter"), 0);
+  EXPECT_FALSE(
+      MetricsRegistry::Global().HistogramSnapshot("reset.hist").has_value());
+}
+
+}  // namespace
+}  // namespace qcluster
