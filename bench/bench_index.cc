@@ -2,10 +2,27 @@
 // the metrics the retrieval methods actually issue (Euclidean, weighted
 // Euclidean, disjunctive aggregate), plus the warm-started refinement
 // search that powers Fig. 7's cost savings.
+//
+// The BM_LinearScan{Scalar,Batch}* family tracks the batched-scoring
+// pipeline PR-over-PR: scalar is the pre-batch reference loop (virtual
+// Distance per point over pointer-chased vectors, materialize everything,
+// nth_element), batch is the sharded SoA path at 1/2/4/hardware threads.
+// Each variant records its scan throughput as a
+// `bench.linear_scan.<variant>.points_per_sec[.tN]` gauge, so the numbers
+// land in BENCH_bench_index.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+
 #include "bench_util.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "core/cluster.h"
 #include "core/disjunctive_distance.h"
 #include "index/br_tree.h"
@@ -58,18 +75,25 @@ void BM_BrTreeEuclidean(benchmark::State& state) {
   }
 }
 
-qcluster::core::DisjunctiveDistance MakeDisjunctive() {
-  const FeatureSet& set = Features();
-  std::vector<qcluster::core::Cluster> clusters;
-  for (int c = 0; c < 3; ++c) {
-    qcluster::core::Cluster cluster(set.dim());
-    for (int i = 0; i < 20; ++i) {
-      cluster.Add(set.features[static_cast<std::size_t>(c * 400 + i)], 1.0);
+const std::vector<qcluster::core::Cluster>& BenchClusters() {
+  static const auto* clusters = [] {
+    const FeatureSet& set = Features();
+    auto* out = new std::vector<qcluster::core::Cluster>();
+    for (int c = 0; c < 3; ++c) {
+      qcluster::core::Cluster cluster(set.dim());
+      for (int i = 0; i < 20; ++i) {
+        cluster.Add(set.features[static_cast<std::size_t>(c * 400 + i)], 1.0);
+      }
+      out->push_back(std::move(cluster));
     }
-    clusters.push_back(std::move(cluster));
-  }
+    return out;
+  }();
+  return *clusters;
+}
+
+qcluster::core::DisjunctiveDistance MakeDisjunctive() {
   return qcluster::core::DisjunctiveDistance(
-      clusters, qcluster::stats::CovarianceScheme::kDiagonal, 1e-4);
+      BenchClusters(), qcluster::stats::CovarianceScheme::kDiagonal, 1e-4);
 }
 
 void BM_VaFileEuclidean(benchmark::State& state) {
@@ -116,6 +140,166 @@ void BM_BrTreeWarmRefinement(benchmark::State& state) {
         qcluster::index::EuclideanDistance(q2), 100, cache));
   }
 }
+
+// ---------------------------------------------------------------------------
+// Scan-throughput trajectory: scalar reference vs the batched pipeline.
+
+/// The seed's scoring loop, kept verbatim as the baseline: one virtual
+/// Distance call per pointer-chased point, all n neighbors materialized,
+/// then TopK's nth_element.
+std::vector<qcluster::index::Neighbor> ScalarReferenceScan(
+    const std::vector<qcluster::linalg::Vector>& pts,
+    const qcluster::index::DistanceFunction& dist, int k) {
+  std::vector<qcluster::index::Neighbor> all;
+  all.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    all.push_back(
+        qcluster::index::Neighbor{static_cast<int>(i), dist.Distance(pts[i])});
+  }
+  return qcluster::index::TopK(std::move(all), k);
+}
+
+/// The seed's DisjunctiveDistance scoring, preserved verbatim as the
+/// trajectory anchor: per point it allocated a d2 vector plus one diff
+/// vector per cluster before aggregating Eq. 5. The batched kernels exist
+/// to eliminate exactly this per-point churn, so the seed loop has to stay
+/// measurable after the rewrite.
+class SeedDisjunctiveScorer {
+ public:
+  SeedDisjunctiveScorer(const std::vector<qcluster::core::Cluster>& clusters,
+                        double min_variance)
+      : total_weight_(0.0) {
+    for (const auto& c : clusters) {
+      centroids_.push_back(c.centroid());
+      weights_.push_back(c.weight());
+      inverse_covs_.push_back(c.InverseCovariance(
+          qcluster::stats::CovarianceScheme::kDiagonal, min_variance));
+      total_weight_ += c.weight();
+    }
+  }
+
+  double Distance(const qcluster::linalg::Vector& x) const {
+    std::vector<double> d2(centroids_.size());
+    for (std::size_t i = 0; i < centroids_.size(); ++i) {
+      const qcluster::linalg::Vector diff = qcluster::linalg::Sub(
+          x, centroids_[i]);
+      d2[i] = qcluster::linalg::QuadraticForm(diff, inverse_covs_[i], diff);
+    }
+    double denom = 0.0;
+    for (std::size_t i = 0; i < d2.size(); ++i) {
+      if (d2[i] <= 0.0) return 0.0;
+      denom += weights_[i] / d2[i];
+    }
+    if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+    return total_weight_ / denom;
+  }
+
+ private:
+  std::vector<qcluster::linalg::Vector> centroids_;
+  std::vector<double> weights_;
+  std::vector<qcluster::linalg::Matrix> inverse_covs_;
+  double total_weight_;
+};
+
+/// Times `body` over the benchmark loop and records points/sec under
+/// `bench.linear_scan.<label>.points_per_sec` in the metrics registry (and
+/// thus in BENCH_bench_index.json).
+template <typename Body>
+void RunThroughput(benchmark::State& state, const std::string& label,
+                   const Body& body) {
+  const std::size_t n = Features().features.size();
+  long long iterations = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(body());
+    ++iterations;
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (seconds > 0.0 && iterations > 0) {
+    const double pps =
+        static_cast<double>(n) * static_cast<double>(iterations) / seconds;
+    qcluster::MetricGauge("bench.linear_scan." + label + ".points_per_sec",
+                          pps);
+    state.counters["points_per_sec"] =
+        benchmark::Counter(pps, benchmark::Counter::kDefaults);
+  }
+}
+
+qcluster::ThreadPool& PoolWithThreads(int threads) {
+  // One static pool per benchmarked size; workers persist across runs.
+  static std::map<int, qcluster::ThreadPool*>* pools =
+      new std::map<int, qcluster::ThreadPool*>();
+  auto [it, inserted] = pools->try_emplace(threads, nullptr);
+  if (inserted) it->second = new qcluster::ThreadPool(threads);
+  return *it->second;
+}
+
+void BM_LinearScanScalarEuclidean(benchmark::State& state) {
+  const FeatureSet& set = Features();
+  const qcluster::index::EuclideanDistance dist(set.features[0]);
+  RunThroughput(state, "scalar_euclidean",
+                [&] { return ScalarReferenceScan(set.features, dist, 100); });
+}
+
+void BM_LinearScanScalarDisjunctive(benchmark::State& state) {
+  const FeatureSet& set = Features();
+  const auto dist = MakeDisjunctive();
+  RunThroughput(state, "scalar_disjunctive",
+                [&] { return ScalarReferenceScan(set.features, dist, 100); });
+}
+
+void BM_LinearScanSeedDisjunctive(benchmark::State& state) {
+  const FeatureSet& set = Features();
+  const SeedDisjunctiveScorer seed(BenchClusters(), 1e-4);
+  RunThroughput(state, "seed_disjunctive", [&] {
+    std::vector<qcluster::index::Neighbor> all;
+    all.reserve(set.features.size());
+    for (std::size_t i = 0; i < set.features.size(); ++i) {
+      all.push_back(qcluster::index::Neighbor{
+          static_cast<int>(i), seed.Distance(set.features[i])});
+    }
+    return qcluster::index::TopK(std::move(all), 100);
+  });
+}
+
+void BM_LinearScanBatchEuclidean(benchmark::State& state) {
+  const FeatureSet& set = Features();
+  const int threads = static_cast<int>(state.range(0));
+  qcluster::index::LinearScanIndex scan(&set.features,
+                                        &PoolWithThreads(threads));
+  const qcluster::index::EuclideanDistance dist(set.features[0]);
+  RunThroughput(state, "batch_euclidean.t" + std::to_string(threads),
+                [&] { return scan.Search(dist, 100); });
+}
+
+void BM_LinearScanBatchDisjunctive(benchmark::State& state) {
+  const FeatureSet& set = Features();
+  const int threads = static_cast<int>(state.range(0));
+  qcluster::index::LinearScanIndex scan(&set.features,
+                                        &PoolWithThreads(threads));
+  const auto dist = MakeDisjunctive();
+  RunThroughput(state, "batch_disjunctive.t" + std::to_string(threads),
+                [&] { return scan.Search(dist, 100); });
+}
+
+void ThreadSweep(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4);
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  if (hw != 1 && hw != 2 && hw != 4) b->Arg(hw);
+}
+
+BENCHMARK(BM_LinearScanScalarEuclidean)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LinearScanScalarDisjunctive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LinearScanSeedDisjunctive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LinearScanBatchEuclidean)
+    ->Apply(ThreadSweep)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LinearScanBatchDisjunctive)
+    ->Apply(ThreadSweep)
+    ->Unit(benchmark::kMicrosecond);
 
 BENCHMARK(BM_LinearScanEuclidean)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_BrTreeEuclidean)->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace qcluster {
+
+namespace internal {
+
+int ParseThreadCount(const char* env) {
+  if (env != nullptr && *env != '\0') {
+    const int value = std::atoi(env);
+    if (value >= 1) return std::min(value, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace internal
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+int ThreadPool::ShardCount(std::size_t n, std::size_t min_shard) const {
+  if (n == 0) return 1;
+  min_shard = std::max<std::size_t>(min_shard, 1);
+  const std::size_t by_size = n / min_shard;  // Shards of >= min_shard items.
+  const std::size_t shards =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), by_size);
+  return static_cast<int>(std::max<std::size_t>(1, shards));
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, std::size_t min_shard,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const int shards = ShardCount(n, min_shard);
+  if (shards == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(shards) - 1) /
+      static_cast<std::size_t>(shards);
+
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining = 0;
+  } done;
+  done.remaining = shards - 1;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QCLUSTER_CHECK_MSG(!stop_, "ParallelFor on a destroyed pool");
+    for (int s = 1; s < shards; ++s) {
+      const std::size_t begin = static_cast<std::size_t>(s) * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      queue_.push_back([&fn, &done, s, begin, end] {
+        if (begin < end) fn(s, begin, end);
+        std::lock_guard<std::mutex> done_lock(done.mu);
+        if (--done.remaining == 0) done.cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+  fn(0, 0, std::min(n, chunk));
+  std::unique_lock<std::mutex> lock(done.mu);
+  done.cv.wait(lock, [&done] { return done.remaining == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally: worker threads must outlive every static-duration
+  // index, and thread joins in static destructors are deadlock-prone.
+  static ThreadPool* const pool =
+      new ThreadPool(internal::ParseThreadCount(std::getenv("QCLUSTER_THREADS")));
+  return *pool;
+}
+
+}  // namespace qcluster

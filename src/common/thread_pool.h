@@ -1,0 +1,82 @@
+#ifndef QCLUSTER_COMMON_THREAD_POOL_H_
+#define QCLUSTER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qcluster {
+
+/// A fixed-size pool of worker threads for sharded scans.
+///
+/// The pool exists to parallelize the k-NN scoring hot path: an index splits
+/// its point range into contiguous shards, each shard is scored into its own
+/// bounded top-k heap, and the per-shard heaps are merged on the calling
+/// thread. Shard *boundaries* depend only on (n, min_shard, thread_count),
+/// never on scheduling, and every point is scored independently — so results
+/// are bit-identical at any thread count.
+///
+/// A pool of size 1 owns no worker threads at all: ParallelFor runs the
+/// single shard inline on the caller, giving a fully serial, deterministic
+/// execution for debugging (`QCLUSTER_THREADS=1`).
+///
+/// ParallelFor must not be called from inside a pool task (no nesting); the
+/// library only issues it from user-facing search entry points.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the caller is the remaining thread).
+  /// Values below 1 are clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency, including the calling thread.
+  int thread_count() const { return threads_; }
+
+  /// Number of shards ParallelFor uses for `n` items: at most
+  /// thread_count(), and never so many that a shard holds fewer than
+  /// `min_shard` items (small inputs stay single-sharded — the parallel
+  /// bookkeeping would cost more than it saves).
+  int ShardCount(std::size_t n, std::size_t min_shard) const;
+
+  /// Splits [0, n) into ShardCount contiguous equal shards and runs
+  /// `fn(shard, begin, end)` for each, blocking until all complete. Shard 0
+  /// runs on the calling thread, the rest on pool workers. `fn` must be
+  /// safe to invoke concurrently and must not throw.
+  void ParallelFor(std::size_t n, std::size_t min_shard,
+                   const std::function<void(int, std::size_t, std::size_t)>&
+                       fn);
+
+  /// The process-wide pool every index uses by default, sized by the
+  /// QCLUSTER_THREADS environment variable at first use (default:
+  /// std::thread::hardware_concurrency, 1 = fully serial).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+namespace internal {
+
+/// QCLUSTER_THREADS parsing, exposed for tests: a positive integer wins
+/// (capped at 256); anything else falls back to hardware_concurrency
+/// (minimum 1).
+int ParseThreadCount(const char* env);
+
+}  // namespace internal
+}  // namespace qcluster
+
+#endif  // QCLUSTER_COMMON_THREAD_POOL_H_

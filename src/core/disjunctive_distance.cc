@@ -1,6 +1,7 @@
 #include "core/disjunctive_distance.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.h"
@@ -9,6 +10,24 @@
 namespace qcluster::core {
 
 using linalg::Vector;
+
+namespace {
+
+/// Gershgorin-disc lower bound on λ_min (clamped to >= 0): the cheap O(d²)
+/// fallback when the eigendecomposition fails, still a valid pruning bound.
+double GershgorinMinEigenvalueBound(const linalg::Matrix& m) {
+  double bound = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < m.rows(); ++r) {
+    double radius = 0.0;
+    for (int c = 0; c < m.cols(); ++c) {
+      if (c != r) radius += std::abs(m(r, c));
+    }
+    bound = std::min(bound, m(r, r) - radius);
+  }
+  return std::max(bound, 0.0);
+}
+
+}  // namespace
 
 DisjunctiveDistance::DisjunctiveDistance(const std::vector<Cluster>& clusters,
                                          stats::CovarianceScheme scheme,
@@ -50,7 +69,8 @@ DisjunctiveDistance::DisjunctiveDistance(const std::vector<Cluster>& clusters,
     total_weight_ += c.weight();
 
     // Tight rectangle bounds: exact per-dimension weights for diagonal
-    // metrics (the adopted scheme), spectral fallback otherwise.
+    // metrics (the adopted scheme), spectral fallback otherwise. Diagonal
+    // metrics never pay the O(d³) eigendecomposition.
     const linalg::Matrix& inv = inverse_covs_.back();
     bool diagonal = true;
     for (int r = 0; r < dim_ && diagonal; ++r) {
@@ -71,23 +91,66 @@ DisjunctiveDistance::DisjunctiveDistance(const std::vector<Cluster>& clusters,
     Result<linalg::SymmetricEigen> eigen = linalg::EigenSymmetric(inv);
     if (eigen.ok() && !eigen.value().values.empty()) {
       min_eig = std::max(eigen.value().values.back(), 0.0);
+    } else {
+      min_eig = GershgorinMinEigenvalueBound(inv);
     }
     min_eigenvalues_.push_back(min_eig);
   }
 }
 
+double DisjunctiveDistance::ClusterDistance(std::size_t i,
+                                            const double* x) const {
+  const Vector& centroid = centroids_[i];
+  const Vector& diag = diagonal_weights_[i];
+  if (!diag.empty()) {
+    // Diagonal metric fast path: O(d), no scratch at all.
+    double sum = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      const std::size_t sd = static_cast<std::size_t>(d);
+      const double diff = x[sd] - centroid[sd];
+      sum += diff * (diag[sd] * diff);
+    }
+    return sum;
+  }
+  // Full metric: reuse a per-thread diff buffer instead of allocating one
+  // per point; QuadraticForm itself is allocation-free.
+  static thread_local Vector diff;
+  diff.resize(static_cast<std::size_t>(dim_));
+  for (int d = 0; d < dim_; ++d) {
+    const std::size_t sd = static_cast<std::size_t>(d);
+    diff[sd] = x[sd] - centroid[sd];
+  }
+  return linalg::QuadraticForm(diff, inverse_covs_[i], diff);
+}
+
+double DisjunctiveDistance::ScoreRow(const double* x) const {
+  // Eq. 5 accumulated inline — no per-point d2 buffer. A zero per-cluster
+  // distance means the point sits on a representative: the fuzzy OR
+  // yields 0.
+  double denom = 0.0;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const double d2 = ClusterDistance(i, x);
+    if (d2 <= 0.0) return 0.0;
+    denom += weights_[i] / d2;
+  }
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return total_weight_ / denom;
+}
+
 double DisjunctiveDistance::Distance(const Vector& x) const {
   QCLUSTER_CHECK(static_cast<int>(x.size()) == dim_);
-  std::vector<double> d2(centroids_.size());
-  for (std::size_t i = 0; i < centroids_.size(); ++i) {
-    const Vector diff = linalg::Sub(x, centroids_[i]);
-    d2[i] = linalg::QuadraticForm(diff, inverse_covs_[i], diff);
-  }
-  return Aggregate(d2);
+  return ScoreRow(x.data());
+}
+
+void DisjunctiveDistance::DistanceBatch(const linalg::FlatView& view,
+                                        double* out) const {
+  QCLUSTER_CHECK(view.dim == dim_);
+  for (std::size_t i = 0; i < view.n; ++i) out[i] = ScoreRow(view.row(i));
 }
 
 double DisjunctiveDistance::MinDistance(const index::Rect& rect) const {
-  std::vector<double> d2(centroids_.size());
+  static thread_local std::vector<double> d2;
+  d2.resize(centroids_.size());
   for (std::size_t i = 0; i < centroids_.size(); ++i) {
     if (!diagonal_weights_[i].empty()) {
       // Exact lower bound for a diagonal quadratic form: per-dimension
@@ -109,18 +172,14 @@ double DisjunctiveDistance::MinDistance(const index::Rect& rect) const {
           min_eigenvalues_[i] * rect.SquaredEuclideanDistance(centroids_[i]);
     }
   }
-  return Aggregate(d2);
+  return Aggregate(d2.data(), d2.size());
 }
 
-double DisjunctiveDistance::Aggregate(
-    const std::vector<double>& per_cluster_d2) const {
-  // Eq. 5. A zero per-cluster distance means the point sits on a
-  // representative: the fuzzy OR yields 0.
+double DisjunctiveDistance::Aggregate(const double* d2, std::size_t n) const {
   double denom = 0.0;
-  for (std::size_t i = 0; i < per_cluster_d2.size(); ++i) {
-    const double d2 = per_cluster_d2[i];
-    if (d2 <= 0.0) return 0.0;
-    denom += weights_[i] / d2;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d2[i] <= 0.0) return 0.0;
+    denom += weights_[i] / d2[i];
   }
   if (denom <= 0.0) return std::numeric_limits<double>::infinity();
   return total_weight_ / denom;

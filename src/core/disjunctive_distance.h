@@ -1,6 +1,7 @@
 #ifndef QCLUSTER_CORE_DISJUNCTIVE_DISTANCE_H_
 #define QCLUSTER_CORE_DISJUNCTIVE_DISTANCE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "core/cluster.h"
@@ -22,6 +23,11 @@ namespace qcluster::core {
 /// A point exactly at a centroid has distance 0. Rectangle pruning uses the
 /// same harmonic combination of per-cluster lower bounds, which is a valid
 /// lower bound because the aggregate is monotone in each d²_i.
+///
+/// Scoring is allocation-free on the hot path: diagonal cluster metrics
+/// (the adopted scheme) use an O(d) per-dimension loop, and full metrics
+/// reuse a per-thread diff scratch buffer, so both the scalar and the
+/// batched entry points are safe to call concurrently from the scan pool.
 class DisjunctiveDistance final : public index::DistanceFunction {
  public:
   /// Captures centroids, weights, and inverse covariances of `clusters`
@@ -41,13 +47,23 @@ class DisjunctiveDistance final : public index::DistanceFunction {
 
   int dim() const override { return dim_; }
   double Distance(const linalg::Vector& x) const override;
+  void DistanceBatch(const linalg::FlatView& view,
+                     double* out) const override;
   double MinDistance(const index::Rect& rect) const override;
 
   /// Number of query points (clusters) in the aggregate.
   int cluster_count() const { return static_cast<int>(centroids_.size()); }
 
  private:
-  double Aggregate(const std::vector<double>& per_cluster_d2) const;
+  /// Eq. 1 for cluster `i` at the raw point `x` (length dim_): O(d) for
+  /// diagonal metrics, O(d²) with per-thread scratch for full ones.
+  double ClusterDistance(std::size_t i, const double* x) const;
+
+  /// Eq. 5 at the raw point `x`.
+  double ScoreRow(const double* x) const;
+
+  /// Eq. 5 over precomputed per-cluster squared distances d2[0..n).
+  double Aggregate(const double* d2, std::size_t n) const;
 
   int dim_;
   std::vector<linalg::Vector> centroids_;

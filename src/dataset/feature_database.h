@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dataset/image_collection.h"
+#include "linalg/flat_view.h"
 #include "linalg/pca.h"
 #include "linalg/vector.h"
 
@@ -46,6 +47,11 @@ class FeatureDatabase {
 
   /// PCA-reduced feature vectors, aligned with the collection's image ids.
   const std::vector<linalg::Vector>& features() const { return features_; }
+
+  /// The same features as one contiguous row-major block — the SoA layout
+  /// the batched distance kernels scan. Stays valid for the database's
+  /// lifetime; hand it to LinearScanIndex(FlatView) for a zero-copy index.
+  linalg::FlatView flat_view() const { return flat_.view(); }
   const std::vector<int>& categories() const { return categories_; }
   const std::vector<int>& themes() const { return themes_; }
   const linalg::Pca& pca() const { return pca_; }
@@ -57,12 +63,14 @@ class FeatureDatabase {
       : features_(std::move(features)),
         categories_(std::move(categories)),
         themes_(std::move(themes)),
-        pca_(std::move(pca)) {}
+        pca_(std::move(pca)),
+        flat_(linalg::FlatBlock::FromPoints(features_)) {}
 
   std::vector<linalg::Vector> features_;
   std::vector<int> categories_;
   std::vector<int> themes_;
   linalg::Pca pca_;
+  linalg::FlatBlock flat_;  ///< Contiguous packing of features_.
 };
 
 }  // namespace qcluster::dataset

@@ -1,6 +1,7 @@
 #include "index/distance.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.h"
@@ -8,6 +9,7 @@
 
 namespace qcluster::index {
 
+using linalg::FlatView;
 using linalg::Matrix;
 using linalg::Vector;
 
@@ -43,17 +45,77 @@ double Rect::SquaredEuclideanDistance(const Vector& x) const {
   return sum;
 }
 
+void DistanceFunction::DistanceBatch(const FlatView& view, double* out) const {
+  QCLUSTER_CHECK(view.dim == dim());
+  Vector scratch(static_cast<std::size_t>(view.dim));
+  for (std::size_t i = 0; i < view.n; ++i) {
+    const double* row = view.row(i);
+    std::copy(row, row + view.dim, scratch.begin());
+    out[i] = Distance(scratch);
+  }
+}
+
 double DistanceFunction::MinDistance(const Rect& rect) const {
   (void)rect;
   return 0.0;
 }
 
+namespace {
+
+/// True iff every off-diagonal entry of the square matrix is exactly zero —
+/// the shape CovarianceScheme::kDiagonal (the paper's adopted scheme)
+/// always produces.
+bool IsDiagonalMatrix(const Matrix& m) {
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      if (r != c && m(r, c) != 0.0) return false;
+    }
+  }
+  return true;
+}
+
+/// Gershgorin-disc lower bound on λ_min of a symmetric matrix:
+/// min_r (a_rr − Σ_{c≠r} |a_rc|), clamped to >= 0 so it stays a valid PSD
+/// pruning bound. O(d²), the cheap fallback when the O(d³)
+/// eigendecomposition is skipped or fails.
+double GershgorinMinEigenvalueBound(const Matrix& m) {
+  double bound = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < m.rows(); ++r) {
+    double radius = 0.0;
+    for (int c = 0; c < m.cols(); ++c) {
+      if (c != r) radius += std::abs(m(r, c));
+    }
+    bound = std::min(bound, m(r, r) - radius);
+  }
+  return std::max(bound, 0.0);
+}
+
+}  // namespace
+
 EuclideanDistance::EuclideanDistance(Vector query) : query_(std::move(query)) {
   QCLUSTER_CHECK(!query_.empty());
 }
 
+double EuclideanDistance::ScoreRow(const double* x) const {
+  // Same element order as linalg::SquaredDistance(query_, x) so scalar and
+  // batch scores are bit-identical.
+  double sum = 0.0;
+  for (std::size_t i = 0; i < query_.size(); ++i) {
+    const double d = query_[i] - x[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
 double EuclideanDistance::Distance(const Vector& x) const {
-  return linalg::SquaredDistance(query_, x);
+  QCLUSTER_CHECK(x.size() == query_.size());
+  return ScoreRow(x.data());
+}
+
+void EuclideanDistance::DistanceBatch(const FlatView& view,
+                                      double* out) const {
+  QCLUSTER_CHECK(view.dim == dim());
+  for (std::size_t i = 0; i < view.n; ++i) out[i] = ScoreRow(view.row(i));
 }
 
 double EuclideanDistance::MinDistance(const Rect& rect) const {
@@ -67,14 +129,24 @@ WeightedEuclideanDistance::WeightedEuclideanDistance(Vector query,
   for (double w : weights_) QCLUSTER_CHECK(w >= 0.0);
 }
 
-double WeightedEuclideanDistance::Distance(const Vector& x) const {
-  QCLUSTER_CHECK(x.size() == query_.size());
+double WeightedEuclideanDistance::ScoreRow(const double* x) const {
   double sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
+  for (std::size_t i = 0; i < query_.size(); ++i) {
     const double d = x[i] - query_[i];
     sum += weights_[i] * d * d;
   }
   return sum;
+}
+
+double WeightedEuclideanDistance::Distance(const Vector& x) const {
+  QCLUSTER_CHECK(x.size() == query_.size());
+  return ScoreRow(x.data());
+}
+
+void WeightedEuclideanDistance::DistanceBatch(const FlatView& view,
+                                              double* out) const {
+  QCLUSTER_CHECK(view.dim == dim());
+  for (std::size_t i = 0; i < view.n; ++i) out[i] = ScoreRow(view.row(i));
 }
 
 double WeightedEuclideanDistance::MinDistance(const Rect& rect) const {
@@ -95,22 +167,89 @@ MahalanobisDistance::MahalanobisDistance(Vector query,
                                          Matrix inverse_covariance)
     : query_(std::move(query)),
       inverse_covariance_(std::move(inverse_covariance)),
+      diagonal_(false),
+      q_aq_(0.0),
       min_eigenvalue_(0.0) {
   QCLUSTER_CHECK(static_cast<int>(query_.size()) == inverse_covariance_.rows());
   QCLUSTER_CHECK(inverse_covariance_.rows() == inverse_covariance_.cols());
+  diagonal_ = IsDiagonalMatrix(inverse_covariance_);
+  a_q_ = inverse_covariance_.MatVec(query_);
+  q_aq_ = linalg::Dot(query_, a_q_);
+  if (diagonal_) {
+    // λ_min of a diagonal matrix is its smallest diagonal entry: no O(d³)
+    // eigendecomposition needed in the scheme the paper adopts.
+    diagonal_weights_ = inverse_covariance_.Diag();
+    min_eigenvalue_ = std::max(
+        *std::min_element(diagonal_weights_.begin(), diagonal_weights_.end()),
+        0.0);
+    return;
+  }
   Result<linalg::SymmetricEigen> eigen =
       linalg::EigenSymmetric(inverse_covariance_);
   if (eigen.ok() && !eigen.value().values.empty()) {
     min_eigenvalue_ = std::max(eigen.value().values.back(), 0.0);
+  } else {
+    min_eigenvalue_ = GershgorinMinEigenvalueBound(inverse_covariance_);
   }
 }
 
+double MahalanobisDistance::ScoreRow(const double* x) const {
+  const std::size_t d = query_.size();
+  if (diagonal_) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const double diff = x[i] - query_[i];
+      sum += diff * (diagonal_weights_[i] * diff);
+    }
+    return sum;
+  }
+  // (x−q)'A(x−q) = xᵀAx − 2·xᵀ(Aq) + qᵀAq with A·q cached: no diff vector
+  // is ever materialized. The expansion can go epsilon-negative near the
+  // query through cancellation; clamp so distances stay comparable with the
+  // non-negative rectangle bounds.
+  double x_ax = 0.0;
+  double x_aq = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    const double xr = x[r];
+    double inner = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      inner += inverse_covariance_(static_cast<int>(r), static_cast<int>(c)) *
+               x[c];
+    }
+    x_ax += xr * inner;
+    x_aq += xr * a_q_[r];
+  }
+  const double value = x_ax - 2.0 * x_aq + q_aq_;
+  return value > 0.0 ? value : 0.0;
+}
+
 double MahalanobisDistance::Distance(const Vector& x) const {
-  const Vector diff = linalg::Sub(x, query_);
-  return linalg::QuadraticForm(diff, inverse_covariance_, diff);
+  QCLUSTER_CHECK(x.size() == query_.size());
+  return ScoreRow(x.data());
+}
+
+void MahalanobisDistance::DistanceBatch(const FlatView& view,
+                                        double* out) const {
+  QCLUSTER_CHECK(view.dim == dim());
+  for (std::size_t i = 0; i < view.n; ++i) out[i] = ScoreRow(view.row(i));
 }
 
 double MahalanobisDistance::MinDistance(const Rect& rect) const {
+  if (diagonal_) {
+    // Exact per-dimension bound for a diagonal quadratic form — tighter
+    // than λ_min · d²_euclid whenever the diagonal is anisotropic.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < query_.size(); ++i) {
+      double d = 0.0;
+      if (query_[i] < rect.lo[i]) {
+        d = rect.lo[i] - query_[i];
+      } else if (query_[i] > rect.hi[i]) {
+        d = query_[i] - rect.hi[i];
+      }
+      sum += diagonal_weights_[i] * d * d;
+    }
+    return sum;
+  }
   return min_eigenvalue_ * rect.SquaredEuclideanDistance(query_);
 }
 

@@ -1,30 +1,116 @@
 #include "index/linear_scan.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "common/metrics.h"
 
 namespace qcluster::index {
 
-LinearScanIndex::LinearScanIndex(const std::vector<linalg::Vector>* points)
-    : points_(points) {
-  QCLUSTER_CHECK(points != nullptr);
+namespace {
+
+/// Minimum points per shard: below this the per-shard bookkeeping (heap,
+/// scores buffer, task hand-off) outweighs the scan itself.
+constexpr std::size_t kMinShardPoints = 1024;
+
+bool Closer(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
 }
+
+}  // namespace
+
+BoundedTopK::BoundedTopK(int k) : k_(static_cast<std::size_t>(k)) {
+  QCLUSTER_CHECK(k > 0);
+  heap_.reserve(k_);
+}
+
+void BoundedTopK::Push(const Neighbor& candidate) {
+  if (heap_.size() < k_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), Closer);
+    return;
+  }
+  if (!Closer(candidate, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), Closer);
+  heap_.back() = candidate;
+  std::push_heap(heap_.begin(), heap_.end(), Closer);
+}
+
+std::vector<Neighbor> BoundedTopK::TakeSorted() && {
+  std::sort_heap(heap_.begin(), heap_.end(), Closer);
+  return std::move(heap_);
+}
+
+LinearScanIndex::LinearScanIndex(const std::vector<linalg::Vector>* points,
+                                 ThreadPool* pool)
+    : pool_(pool) {
+  QCLUSTER_CHECK(points != nullptr);
+  owned_ = linalg::FlatBlock::FromPoints(*points);
+  view_ = owned_.view();
+}
+
+LinearScanIndex::LinearScanIndex(linalg::FlatView view, ThreadPool* pool)
+    : view_(view), pool_(pool) {}
 
 std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
                                               int k, SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   QCLUSTER_TIMED("index.linear_scan.search");
-  std::vector<Neighbor> all;
-  all.reserve(points_->size());
-  for (std::size_t i = 0; i < points_->size(); ++i) {
-    all.push_back(Neighbor{static_cast<int>(i), dist.Distance((*points_)[i])});
+  const bool metrics = MetricsEnabled();
+  const auto start = metrics ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+
+  const std::size_t n = view_.n;
+  std::vector<Neighbor> merged;
+  int shards = 0;
+  if (n > 0) {
+    QCLUSTER_CHECK(dist.dim() == view_.dim);
+    ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Global();
+    shards = pool.ShardCount(n, kMinShardPoints);
+    std::vector<std::vector<Neighbor>> shard_top(
+        static_cast<std::size_t>(shards));
+    pool.ParallelFor(
+        n, kMinShardPoints,
+        [&](int shard, std::size_t begin, std::size_t end) {
+          // Reused across searches: one scratch buffer per pool thread, so
+          // the steady-state scan allocates nothing per shard.
+          static thread_local std::vector<double> scores;
+          scores.resize(end - begin);
+          dist.DistanceBatch(view_.Slice(begin, end), scores.data());
+          BoundedTopK top(k);
+          for (std::size_t j = 0; j < scores.size(); ++j) {
+            top.Push(Neighbor{static_cast<int>(begin + j), scores[j]});
+          }
+          shard_top[static_cast<std::size_t>(shard)] =
+              std::move(top).TakeSorted();
+        });
+    // Each global top-k member is inside its own shard's top-k, so merging
+    // the (at most shards · k) survivors is exact.
+    std::size_t total = 0;
+    for (const auto& t : shard_top) total += t.size();
+    merged.reserve(total);
+    for (auto& t : shard_top) {
+      merged.insert(merged.end(), t.begin(), t.end());
+    }
   }
+
   SearchStats local;
-  local.distance_evaluations = static_cast<long long>(points_->size());
+  local.distance_evaluations = static_cast<long long>(n);
   FinishSearch("index.linear_scan", local, stats);
-  return TopK(std::move(all), k);
+  if (metrics && n > 0) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (seconds > 0.0) {
+      MetricRecord("index.linear_scan.batch.points_per_sec",
+                   static_cast<double>(n) / seconds);
+    }
+    MetricGauge("index.linear_scan.batch.shards",
+                static_cast<double>(shards));
+  }
+  return TopK(std::move(merged), k);
 }
 
 std::vector<Neighbor> TopK(std::vector<Neighbor> all, int k) {

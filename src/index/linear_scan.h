@@ -1,26 +1,64 @@
 #ifndef QCLUSTER_INDEX_LINEAR_SCAN_H_
 #define QCLUSTER_INDEX_LINEAR_SCAN_H_
 
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "index/knn.h"
+#include "linalg/flat_view.h"
 
 namespace qcluster::index {
 
 /// Exact k-NN by exhaustive scan. The correctness oracle for the BR-tree and
 /// the baseline for index cost comparisons.
+///
+/// Scoring runs through the batched pipeline: points live in one contiguous
+/// row-major block, each query calls DistanceFunction::DistanceBatch over
+/// per-thread shards, and every shard keeps a bounded top-k heap that is
+/// merged at the end. Results are identical at any thread count (ties break
+/// by id), so `QCLUSTER_THREADS=1` reproduces a parallel run bit for bit.
 class LinearScanIndex final : public KnnIndex {
  public:
-  /// Indexes `points` by reference; the caller keeps them alive and
-  /// unchanged for the lifetime of the index.
-  explicit LinearScanIndex(const std::vector<linalg::Vector>* points);
+  /// Indexes `points` by packing a contiguous copy; the caller's vectors
+  /// are not referenced after construction. `pool` is the scan pool to use
+  /// (nullptr = the process-global ThreadPool::Global()).
+  explicit LinearScanIndex(const std::vector<linalg::Vector>* points,
+                           ThreadPool* pool = nullptr);
 
-  int size() const override { return static_cast<int>(points_->size()); }
+  /// Zero-copy variant over an external contiguous block (e.g.
+  /// FeatureDatabase::flat_view()); the block owner keeps it alive and
+  /// unchanged for the lifetime of the index.
+  explicit LinearScanIndex(linalg::FlatView view, ThreadPool* pool = nullptr);
+
+  int size() const override { return static_cast<int>(view_.n); }
   std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
                                SearchStats* stats = nullptr) const override;
 
  private:
-  const std::vector<linalg::Vector>* points_;
+  linalg::FlatBlock owned_;  ///< Packed copy when built from vectors.
+  linalg::FlatView view_;
+  ThreadPool* const pool_;   ///< nullptr = ThreadPool::Global().
+};
+
+/// A fixed-capacity max-heap of the k closest neighbors seen so far, with
+/// (distance, id) ordering so ties resolve deterministically. The shard-
+/// local accumulator of the parallel scan.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(int k);
+
+  /// Offers one candidate; keeps it only if it beats the current k-th.
+  void Push(const Neighbor& candidate);
+
+  /// Destructively returns the retained neighbors sorted ascending.
+  std::vector<Neighbor> TakeSorted() &&;
+
+  int size() const { return static_cast<int>(heap_.size()); }
+
+ private:
+  std::size_t k_;
+  std::vector<Neighbor> heap_;  ///< Max-heap: worst retained entry on top.
 };
 
 /// Selects the k smallest (distance, id) pairs from `all` in-place semantics:

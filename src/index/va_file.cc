@@ -1,6 +1,7 @@
 #include "index/va_file.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <queue>
 
@@ -12,8 +13,17 @@ namespace qcluster::index {
 
 using linalg::Vector;
 
-VaFile::VaFile(const std::vector<Vector>* points, const Options& options)
-    : points_(points), bits_(options.bits_per_dim) {
+namespace {
+
+/// Minimum points per shard of the bound scan (each bound is a handful of
+/// flops, so shards must be sizable to amortize the hand-off).
+constexpr std::size_t kMinShardPoints = 1024;
+
+}  // namespace
+
+VaFile::VaFile(const std::vector<Vector>* points, const Options& options,
+               ThreadPool* pool)
+    : points_(points), pool_(pool), bits_(options.bits_per_dim) {
   QCLUSTER_CHECK(points != nullptr);
   QCLUSTER_CHECK(1 <= bits_ && bits_ <= 8);
   levels_ = 1 << bits_;
@@ -45,17 +55,13 @@ VaFile::VaFile(const std::vector<Vector>* points, const Options& options)
   }
 }
 
-Rect VaFile::CellRect(int i) const {
+void VaFile::CellRectInto(int i, Rect* rect) const {
   const std::size_t dim = lo_.size();
-  Rect rect;
-  rect.lo.resize(dim);
-  rect.hi.resize(dim);
   for (std::size_t d = 0; d < dim; ++d) {
     const int cell = cells_[static_cast<std::size_t>(i) * dim + d];
-    rect.lo[d] = lo_[d] + cell * step_[d];
-    rect.hi[d] = rect.lo[d] + step_[d];
+    rect->lo[d] = lo_[d] + cell * step_[d];
+    rect->hi[d] = rect->lo[d] + step_[d];
   }
-  return rect;
 }
 
 std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
@@ -63,17 +69,43 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
   QCLUSTER_CHECK(k > 0);
   if (points_->empty()) return {};
   QCLUSTER_TIMED("index.va_file.search");
+  const bool metrics = MetricsEnabled();
+  const auto start = metrics ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
   SearchStats local;
 
-  // Phase 1: lower bound per point from its cell rectangle.
+  // Phase 1: lower bound per point from its cell rectangle, sharded across
+  // the pool. Bounds are independent per point, so any thread count yields
+  // the same candidate order.
   struct Candidate {
     double bound;
     int id;
   };
-  std::vector<Candidate> candidates(points_->size());
-  for (std::size_t i = 0; i < points_->size(); ++i) {
-    candidates[i] = {dist.MinDistance(CellRect(static_cast<int>(i))),
-                     static_cast<int>(i)};
+  const std::size_t n = points_->size();
+  const std::size_t dim = lo_.size();
+  ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Global();
+  const int shards = pool.ShardCount(n, kMinShardPoints);
+  std::vector<Candidate> candidates(n);
+  pool.ParallelFor(n, kMinShardPoints,
+                   [&](int /*shard*/, std::size_t begin, std::size_t end) {
+                     Rect rect;
+                     rect.lo.resize(dim);
+                     rect.hi.resize(dim);
+                     for (std::size_t i = begin; i < end; ++i) {
+                       CellRectInto(static_cast<int>(i), &rect);
+                       candidates[i] = {dist.MinDistance(rect),
+                                        static_cast<int>(i)};
+                     }
+                   });
+  if (metrics) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (seconds > 0.0) {
+      MetricRecord("index.va_file.batch.points_per_sec",
+                   static_cast<double>(n) / seconds);
+    }
+    MetricGauge("index.va_file.batch.shards", static_cast<double>(shards));
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "index/knn.h"
 
 namespace qcluster::index {
@@ -14,6 +15,11 @@ namespace qcluster::index {
 /// the compact approximations computing cell-level lower bounds, and only
 /// the candidates whose bound beats the current k-th exact distance are
 /// fetched and evaluated exactly (the VA-SSA search strategy).
+///
+/// The approximation scan (phase 1, the O(n) part) is sharded across the
+/// scan pool with a reusable cell rectangle per shard; the refinement phase
+/// stays sequential because each exact evaluation depends on the current
+/// k-th distance. Results are identical at any thread count.
 ///
 /// Works with any `DistanceFunction` through its rectangle lower bound, so
 /// the disjunctive multipoint metric is supported unchanged.
@@ -26,7 +32,9 @@ class VaFile final : public KnnIndex {
 
   /// Builds the approximation file over `points` (kept alive by the
   /// caller). The grid is equi-width over each dimension's observed range.
-  VaFile(const std::vector<linalg::Vector>* points, const Options& options);
+  /// `pool` is the scan pool (nullptr = ThreadPool::Global()).
+  VaFile(const std::vector<linalg::Vector>* points, const Options& options,
+         ThreadPool* pool = nullptr);
   explicit VaFile(const std::vector<linalg::Vector>* points)
       : VaFile(points, Options{}) {}
 
@@ -39,10 +47,13 @@ class VaFile final : public KnnIndex {
   std::size_t approximation_bytes() const { return cells_.size(); }
 
  private:
-  /// Returns the bounding rectangle of point i's grid cell.
-  Rect CellRect(int i) const;
+  /// Writes the bounding rectangle of point i's grid cell into `rect`
+  /// (whose lo/hi must already have the right size — reused across points
+  /// so the bound scan never allocates).
+  void CellRectInto(int i, Rect* rect) const;
 
   const std::vector<linalg::Vector>* points_;
+  ThreadPool* const pool_;  ///< nullptr = ThreadPool::Global().
   int bits_;
   int levels_;
   linalg::Vector lo_;      ///< Per-dimension grid origin.

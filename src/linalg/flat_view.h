@@ -1,0 +1,64 @@
+#ifndef QCLUSTER_LINALG_FLAT_VIEW_H_
+#define QCLUSTER_LINALG_FLAT_VIEW_H_
+
+#include <cstddef>
+
+#include "linalg/vector.h"
+
+namespace qcluster::linalg {
+
+/// A non-owning view of `n` points of dimension `dim` stored contiguously in
+/// row-major order — the structure-of-arrays layout the batched distance
+/// kernels scan. Rows are adjacent in memory, so a full scan is one linear
+/// sweep instead of n pointer chases through std::vector headers.
+struct FlatView {
+  const double* data = nullptr;
+  std::size_t n = 0;
+  int dim = 0;
+
+  const double* row(std::size_t i) const {
+    return data + i * static_cast<std::size_t>(dim);
+  }
+  bool empty() const { return n == 0; }
+
+  /// The sub-view of rows [begin, end).
+  FlatView Slice(std::size_t begin, std::size_t end) const {
+    return FlatView{row(begin), end - begin, dim};
+  }
+};
+
+/// An owning contiguous feature block. Packs pointer-chased
+/// `std::vector<Vector>` storage into one flat allocation once, so every
+/// subsequent scan runs over cache-friendly rows.
+class FlatBlock {
+ public:
+  FlatBlock() = default;
+
+  /// Copies `points` (all of equal dimension) into one contiguous buffer.
+  /// An empty input yields an empty block.
+  static FlatBlock FromPoints(const std::vector<Vector>& points) {
+    FlatBlock block;
+    if (points.empty()) return block;
+    block.dim_ = static_cast<int>(points.front().size());
+    block.n_ = points.size();
+    block.data_.reserve(points.size() * points.front().size());
+    for (const Vector& p : points) {
+      block.data_.insert(block.data_.end(), p.begin(), p.end());
+    }
+    return block;
+  }
+
+  FlatView view() const { return FlatView{data_.data(), n_, dim_}; }
+  std::size_t size() const { return n_; }
+  int dim() const { return dim_; }
+  bool empty() const { return n_ == 0; }
+
+ private:
+  std::vector<double> data_;
+  std::size_t n_ = 0;
+  int dim_ = 0;
+};
+
+}  // namespace qcluster::linalg
+
+#endif  // QCLUSTER_LINALG_FLAT_VIEW_H_
