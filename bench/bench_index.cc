@@ -21,11 +21,15 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/check.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/cluster.h"
 #include "core/disjunctive_distance.h"
+#include "dataset/synthetic_gaussian.h"
 #include "index/br_tree.h"
+#include "index/filter_refine.h"
 #include "index/linear_scan.h"
 #include "index/va_file.h"
 
@@ -202,12 +206,11 @@ class SeedDisjunctiveScorer {
 };
 
 /// Times `body` over the benchmark loop and records points/sec under
-/// `bench.linear_scan.<label>.points_per_sec` in the metrics registry (and
-/// thus in BENCH_bench_index.json).
+/// `<metric>.points_per_sec` in the metrics registry (and thus in
+/// BENCH_bench_index.json). `n` is the database size one call scans.
 template <typename Body>
-void RunThroughput(benchmark::State& state, const std::string& label,
-                   const Body& body) {
-  const std::size_t n = Features().features.size();
+void RunThroughputMetric(benchmark::State& state, const std::string& metric,
+                         std::size_t n, const Body& body) {
   long long iterations = 0;
   const auto start = std::chrono::steady_clock::now();
   for (auto _ : state) {
@@ -220,11 +223,18 @@ void RunThroughput(benchmark::State& state, const std::string& label,
   if (seconds > 0.0 && iterations > 0) {
     const double pps =
         static_cast<double>(n) * static_cast<double>(iterations) / seconds;
-    qcluster::MetricGauge("bench.linear_scan." + label + ".points_per_sec",
-                          pps);
+    qcluster::MetricGauge(metric + ".points_per_sec", pps);
     state.counters["points_per_sec"] =
         benchmark::Counter(pps, benchmark::Counter::kDefaults);
   }
+}
+
+/// The linear-scan trajectory family's label convention.
+template <typename Body>
+void RunThroughput(benchmark::State& state, const std::string& label,
+                   const Body& body) {
+  RunThroughputMetric(state, "bench.linear_scan." + label,
+                      Features().features.size(), body);
 }
 
 qcluster::ThreadPool& PoolWithThreads(int threads) {
@@ -284,6 +294,88 @@ void BM_LinearScanBatchDisjunctive(benchmark::State& state) {
                 [&] { return scan.Search(dist, 100); });
 }
 
+// ---------------------------------------------------------------------------
+// PCA filter-and-refine family: full batch scan vs FilterRefineIndex at
+// k' ∈ {4, 8, 16, d} on a wide (d = 32) synthetic workload. The paper's
+// 3-4-dim image features are too narrow for the filter to pay; dimensions
+// like these are where the contractive pre-filter earns its keep.
+
+constexpr int kWideDim = 32;
+constexpr int kWideCategories = 40;
+constexpr int kWidePointsPerCategory = 500;
+/// The retrieval-realistic shape: the user's relevant images form a few
+/// query clusters inside a database of many categories, so most of the
+/// database is far from every query centroid and prunable.
+constexpr int kWideQueryClusters[] = {0, 17, 34};
+
+const std::vector<qcluster::linalg::Vector>& WideFeatures() {
+  static const auto* points = [] {
+    qcluster::dataset::GaussianClustersOptions opt;
+    opt.dim = kWideDim;
+    opt.num_clusters = kWideCategories;
+    opt.points_per_cluster = kWidePointsPerCategory;
+    opt.inter_cluster_distance = 6.0;
+    opt.shape = qcluster::dataset::ClusterShape::kElliptical;
+    qcluster::Rng rng(20030612);
+    return new std::vector<qcluster::linalg::Vector>(
+        qcluster::dataset::GenerateGaussianClusters(opt, rng).points);
+  }();
+  return *points;
+}
+
+/// A 3-way disjunctive metric over the wide workload, built the same way
+/// the engine builds one after feedback: each query cluster summarizes 20
+/// marked members of one category.
+qcluster::core::DisjunctiveDistance WideDisjunctive() {
+  static const auto* clusters = [] {
+    const auto& pts = WideFeatures();
+    auto* out = new std::vector<qcluster::core::Cluster>();
+    for (int c : kWideQueryClusters) {
+      qcluster::core::Cluster cluster(kWideDim);
+      for (int i = 0; i < 20; ++i) {
+        cluster.Add(pts[static_cast<std::size_t>(c * kWidePointsPerCategory +
+                                                 i)],
+                    1.0);
+      }
+      out->push_back(std::move(cluster));
+    }
+    return out;
+  }();
+  return qcluster::core::DisjunctiveDistance(
+      *clusters, qcluster::stats::CovarianceScheme::kDiagonal, 1e-4);
+}
+
+void BM_FilterRefineWideDisjunctive(benchmark::State& state) {
+  const auto& pts = WideFeatures();
+  const int kp = static_cast<int>(state.range(0));
+  const qcluster::index::FilterRefineIndex index(&pts, kp,
+                                                 &PoolWithThreads(1));
+  const auto dist = WideDisjunctive();
+  // Exactness sanity outside the timed loop: the filter must return what
+  // the exhaustive scan returns, bit for bit. The first call also warms the
+  // projection cache, so the loop measures steady-state throughput.
+  {
+    const qcluster::index::LinearScanIndex scan(&pts, &PoolWithThreads(1));
+    QCLUSTER_CHECK(index.Search(dist, 100) == scan.Search(dist, 100));
+  }
+  qcluster::index::SearchStats stats;
+  index.Search(dist, 100, &stats);
+  qcluster::MetricGauge(
+      "bench.filter_refine.d32.k" + std::to_string(kp) + ".refine_ratio",
+      static_cast<double>(stats.distance_evaluations) /
+          static_cast<double>(pts.size()));
+  RunThroughputMetric(state, "bench.filter_refine.d32.k" + std::to_string(kp),
+                      pts.size(), [&] { return index.Search(dist, 100); });
+}
+
+void BM_FullScanWideDisjunctive(benchmark::State& state) {
+  const auto& pts = WideFeatures();
+  const qcluster::index::LinearScanIndex scan(&pts, &PoolWithThreads(1));
+  const auto dist = WideDisjunctive();
+  RunThroughputMetric(state, "bench.filter_refine.d32.full", pts.size(),
+                      [&] { return scan.Search(dist, 100); });
+}
+
 void ThreadSweep(benchmark::internal::Benchmark* b) {
   b->Arg(1)->Arg(2)->Arg(4);
   const int hw =
@@ -299,6 +391,14 @@ BENCHMARK(BM_LinearScanBatchEuclidean)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LinearScanBatchDisjunctive)
     ->Apply(ThreadSweep)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_FullScanWideDisjunctive)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FilterRefineWideDisjunctive)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(kWideDim)
     ->Unit(benchmark::kMicrosecond);
 
 BENCHMARK(BM_LinearScanEuclidean)->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Rebuilds the Release tree and reruns every bench binary, regenerating all
+# BENCH_*.json metric exports in one sweep. Usage:
+#
+#   bench/run_all.sh [build-dir] [-- extra benchmark flags...]
+#
+# Defaults to build-release/ next to the repo root. The JSON files land in
+# <build-dir>/bench/ (each binary writes BENCH_<name>.json into its working
+# directory at exit). Pass e.g. `-- --benchmark_min_time=0.05` for a quick
+# smoke sweep; without flags each binary uses the benchmark library's own
+# timing heuristics.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-release"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  build_dir="$1"
+  shift
+fi
+extra_flags=()
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+  extra_flags=("$@")
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j
+
+cd "${build_dir}/bench"
+shopt -s nullglob
+binaries=(bench_*)
+ran=0
+for bin in "${binaries[@]}"; do
+  [[ -x "${bin}" && -f "${bin}" ]] || continue
+  echo "==> ${bin}"
+  "./${bin}" "${extra_flags[@]}"
+  ran=$((ran + 1))
+done
+
+if [[ "${ran}" -eq 0 ]]; then
+  echo "error: no bench binaries found in ${build_dir}/bench" >&2
+  exit 1
+fi
+
+echo
+echo "Regenerated $(ls BENCH_*.json | wc -l) BENCH_*.json exports in ${build_dir}/bench:"
+ls -1 BENCH_*.json

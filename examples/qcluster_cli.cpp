@@ -16,6 +16,8 @@
 //   save <path>               cache the current feature set to disk
 //   load <path>               restore a cached feature set
 //   method <qcluster|qpm|qex|falcon|mindreader>
+//   pca <dims|auto|off>       PCA filter-and-refine pre-filter (qcluster
+//                             method; exact — results never change)
 //   query <image_id>          initial query-by-example
 //   mark auto                 oracle marks relevant in current result, feedback
 //   mark <id>:<score> ...     manual marks, feedback
@@ -61,6 +63,9 @@ struct CliState {
   std::unique_ptr<qcluster::eval::OracleUser> oracle;
   std::string method_name = "qcluster";
   int k = 50;
+  /// Filter-and-refine pre-filter dimensionality for the qcluster method:
+  /// 0 = off, < 0 = auto (d/4), > 0 = explicit k'.
+  int pca_dims = 0;
   int query_id = -1;
   std::vector<qcluster::index::Neighbor> result;
 
@@ -97,6 +102,7 @@ void MakeMethod(CliState& state) {
   } else {
     qcluster::core::QclusterOptions opt;
     opt.k = state.k;
+    opt.pca_dims = state.pca_dims;
     state.method = std::make_unique<qcluster::core::QclusterEngine>(
         features, knn, opt);
   }
@@ -284,6 +290,7 @@ void CmdHelp() {
       "  build <categories> <images_per_category> [color|texture]\n"
       "  save <path> | load <path>\n"
       "  method <qcluster|qpm|qex|falcon|mindreader>\n"
+      "  pca <dims|auto|off>   PCA filter-and-refine for qcluster queries\n"
       "  query <image_id>\n"
       "  mark auto | mark <id>:<score> ...\n"
       "  show [n] | clusters | metrics | help | quit\n");
@@ -315,6 +322,33 @@ bool Execute(CliState& state, const std::string& line) {
       state.result.clear();
       state.query_id = -1;
       std::printf("method = %s\n", name.c_str());
+    }
+  } else if (command == "pca") {
+    std::string value;
+    args >> value;
+    if (value == "off") {
+      state.pca_dims = 0;
+    } else if (value == "auto") {
+      state.pca_dims = -1;
+    } else {
+      try {
+        state.pca_dims = std::stoi(value);
+      } catch (const std::exception&) {
+        std::printf("error: pca expects a dimension count, `auto`, or "
+                    "`off`\n");
+        return true;
+      }
+      if (state.pca_dims < 0) state.pca_dims = -1;
+    }
+    MakeMethod(state);
+    state.result.clear();
+    state.query_id = -1;
+    if (state.pca_dims == 0) {
+      std::printf("pca filter off\n");
+    } else if (state.pca_dims < 0) {
+      std::printf("pca filter auto (d/4)\n");
+    } else {
+      std::printf("pca filter k' = %d\n", state.pca_dims);
     }
   } else if (command == "query") {
     CmdQuery(state, args);

@@ -175,6 +175,24 @@ double DisjunctiveDistance::MinDistance(const index::Rect& rect) const {
   return Aggregate(d2.data(), d2.size());
 }
 
+bool DisjunctiveDistance::Decompose(index::QuadraticDecomposition* out) const {
+  out->components.clear();
+  out->harmonic = true;
+  out->total_weight = total_weight_;
+  out->components.reserve(centroids_.size());
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    index::QuadraticComponent& c = out->components.emplace_back();
+    c.query = centroids_[i];
+    if (!diagonal_weights_[i].empty()) {
+      c.diagonal = diagonal_weights_[i];
+    } else {
+      c.full = inverse_covs_[i];
+    }
+    c.weight = weights_[i];
+  }
+  return true;
+}
+
 double DisjunctiveDistance::Aggregate(const double* d2, std::size_t n) const {
   double denom = 0.0;
   for (std::size_t i = 0; i < n; ++i) {

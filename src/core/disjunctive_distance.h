@@ -51,6 +51,11 @@ class DisjunctiveDistance final : public index::DistanceFunction {
                      double* out) const override;
   double MinDistance(const index::Rect& rect) const override;
 
+  /// One component per cluster (centroid, Sᵢ⁻¹, mᵢ) under the harmonic
+  /// Eq. 5 combine — the structure the filter-and-refine index lower-bounds
+  /// cluster-wise (Eq. 5 is monotone in each per-cluster distance).
+  bool Decompose(index::QuadraticDecomposition* out) const override;
+
   /// Number of query points (clusters) in the aggregate.
   int cluster_count() const { return static_cast<int>(centroids_.size()); }
 

@@ -20,6 +20,10 @@ QclusterEngine::QclusterEngine(const std::vector<Vector>* database,
   QCLUSTER_CHECK(0.0 < options.alpha && options.alpha < 1.0);
   QCLUSTER_CHECK(options.max_clusters >= 1);
   QCLUSTER_CHECK(options.initial_clusters >= 1);
+  if (options.pca_dims != 0 && !database->empty()) {
+    filter_refine_ = std::make_unique<index::FilterRefineIndex>(
+        database, options.pca_dims);
+  }
 }
 
 std::vector<index::Neighbor> QclusterEngine::InitialQuery(
@@ -128,6 +132,11 @@ void QclusterEngine::Reset() {
 std::vector<index::Neighbor> QclusterEngine::RunQuery(
     const index::DistanceFunction& dist) {
   last_stats_ = index::SearchStats{};
+  if (filter_refine_ != nullptr) {
+    // pca_dims opts every round into the filter-and-refine scan; it
+    // returns exactly what the exhaustive index would.
+    return filter_refine_->Search(dist, options_.k, &last_stats_);
+  }
   if (br_tree_ != nullptr && options_.use_query_cache) {
     return br_tree_->SearchCached(dist, options_.k, cache_, &last_stats_);
   }

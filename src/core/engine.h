@@ -1,6 +1,7 @@
 #ifndef QCLUSTER_CORE_ENGINE_H_
 #define QCLUSTER_CORE_ENGINE_H_
 
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "core/merging.h"
 #include "core/retrieval_method.h"
 #include "index/br_tree.h"
+#include "index/filter_refine.h"
 #include "index/knn.h"
 
 namespace qcluster::core {
@@ -50,6 +52,13 @@ struct QclusterOptions {
   /// refinement optimization measured in Fig. 7). Effective only when the
   /// engine's index is a BrTree.
   bool use_query_cache = true;
+  /// Dimensionality k' of the PCA filter-and-refine pre-filter (Sec. 4.4 /
+  /// Eq. 17-19). 0 (default) disables it and queries go to the engine's
+  /// index unchanged; > 0 routes every k-NN round through a
+  /// FilterRefineIndex with that many reduced dimensions per metric
+  /// component; < 0 picks k' = max(1, d/4) automatically. Results are
+  /// bit-for-bit identical either way — the filter only prunes.
+  int pca_dims = 0;
 };
 
 /// The Qcluster retrieval engine — Algorithm 1.
@@ -116,6 +125,10 @@ class QclusterEngine final : public RetrievalMethod {
   const index::KnnIndex* knn_;
   const index::BrTree* br_tree_;  ///< Non-null when `knn_` is a BrTree.
   QclusterOptions options_;
+  /// Engine-owned filter-and-refine pipeline; non-null iff
+  /// options.pca_dims != 0, in which case RunQuery routes through it
+  /// instead of `knn_`.
+  std::unique_ptr<index::FilterRefineIndex> filter_refine_;
 
   std::vector<Cluster> clusters_;
   std::unordered_set<int> seen_ids_;

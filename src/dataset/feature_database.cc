@@ -105,4 +105,15 @@ FeatureDatabase FeatureDatabase::FromRawFeatures(std::vector<Vector> raw,
                          std::move(themes), std::move(pca).value());
 }
 
+const index::FilterRefineIndex& FeatureDatabase::filter_refine_index(
+    int pca_dims) const {
+  std::lock_guard<std::mutex> lock(fr_cache_->mu);
+  std::unique_ptr<index::FilterRefineIndex>& slot =
+      fr_cache_->by_dims[pca_dims];
+  if (slot == nullptr) {
+    slot = std::make_unique<index::FilterRefineIndex>(flat_.view(), pca_dims);
+  }
+  return *slot;
+}
+
 }  // namespace qcluster::dataset

@@ -1,9 +1,13 @@
 #ifndef QCLUSTER_DATASET_FEATURE_DATABASE_H_
 #define QCLUSTER_DATASET_FEATURE_DATABASE_H_
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "dataset/image_collection.h"
+#include "index/filter_refine.h"
 #include "linalg/flat_view.h"
 #include "linalg/pca.h"
 #include "linalg/vector.h"
@@ -52,6 +56,15 @@ class FeatureDatabase {
   /// the batched distance kernels scan. Stays valid for the database's
   /// lifetime; hand it to LinearScanIndex(FlatView) for a zero-copy index.
   linalg::FlatView flat_view() const { return flat_.view(); }
+
+  /// A filter-and-refine index over this database's flat block, built on
+  /// first use and shared by every caller asking for the same `pca_dims`
+  /// (the index's projected block is itself a second contiguous FlatBlock,
+  /// rebuilt lazily whenever the querying metric's covariance changes — see
+  /// index::FilterRefineIndex). Zero-copy: the index scans flat_view().
+  /// The reference stays valid for the database's lifetime. Thread-safe.
+  const index::FilterRefineIndex& filter_refine_index(int pca_dims) const;
+
   const std::vector<int>& categories() const { return categories_; }
   const std::vector<int>& themes() const { return themes_; }
   const linalg::Pca& pca() const { return pca_; }
@@ -66,11 +79,21 @@ class FeatureDatabase {
         pca_(std::move(pca)),
         flat_(linalg::FlatBlock::FromPoints(features_)) {}
 
+  /// Lazily-built filter-and-refine indexes keyed by their pca_dims
+  /// argument. Held behind a shared_ptr so the database stays movable
+  /// (std::mutex is not) and handed-out index references survive moves.
+  struct FilterRefineCache {
+    std::mutex mu;
+    std::map<int, std::unique_ptr<index::FilterRefineIndex>> by_dims;
+  };
+
   std::vector<linalg::Vector> features_;
   std::vector<int> categories_;
   std::vector<int> themes_;
   linalg::Pca pca_;
   linalg::FlatBlock flat_;  ///< Contiguous packing of features_.
+  std::shared_ptr<FilterRefineCache> fr_cache_ =
+      std::make_shared<FilterRefineCache>();
 };
 
 }  // namespace qcluster::dataset

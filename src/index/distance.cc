@@ -60,6 +60,11 @@ double DistanceFunction::MinDistance(const Rect& rect) const {
   return 0.0;
 }
 
+bool DistanceFunction::Decompose(QuadraticDecomposition* out) const {
+  (void)out;
+  return false;
+}
+
 namespace {
 
 /// True iff every off-diagonal entry of the square matrix is exactly zero —
@@ -122,6 +127,16 @@ double EuclideanDistance::MinDistance(const Rect& rect) const {
   return rect.SquaredEuclideanDistance(query_);
 }
 
+bool EuclideanDistance::Decompose(QuadraticDecomposition* out) const {
+  out->components.clear();
+  out->harmonic = false;
+  out->total_weight = 0.0;
+  QuadraticComponent& c = out->components.emplace_back();
+  c.query = query_;
+  c.diagonal.assign(query_.size(), 1.0);
+  return true;
+}
+
 WeightedEuclideanDistance::WeightedEuclideanDistance(Vector query,
                                                      Vector weights)
     : query_(std::move(query)), weights_(std::move(weights)) {
@@ -161,6 +176,16 @@ double WeightedEuclideanDistance::MinDistance(const Rect& rect) const {
     sum += weights_[i] * d * d;
   }
   return sum;
+}
+
+bool WeightedEuclideanDistance::Decompose(QuadraticDecomposition* out) const {
+  out->components.clear();
+  out->harmonic = false;
+  out->total_weight = 0.0;
+  QuadraticComponent& c = out->components.emplace_back();
+  c.query = query_;
+  c.diagonal = weights_;
+  return true;
 }
 
 MahalanobisDistance::MahalanobisDistance(Vector query,
@@ -251,6 +276,20 @@ double MahalanobisDistance::MinDistance(const Rect& rect) const {
     return sum;
   }
   return min_eigenvalue_ * rect.SquaredEuclideanDistance(query_);
+}
+
+bool MahalanobisDistance::Decompose(QuadraticDecomposition* out) const {
+  out->components.clear();
+  out->harmonic = false;
+  out->total_weight = 0.0;
+  QuadraticComponent& c = out->components.emplace_back();
+  c.query = query_;
+  if (diagonal_) {
+    c.diagonal = diagonal_weights_;
+  } else {
+    c.full = inverse_covariance_;
+  }
+  return true;
 }
 
 }  // namespace qcluster::index

@@ -26,6 +26,30 @@ struct Rect {
   double SquaredEuclideanDistance(const linalg::Vector& x) const;
 };
 
+/// One quadratic term of a decomposable metric: the component contributes
+/// d²ᵢ(x) = (x − qᵢ)' Aᵢ (x − qᵢ) to the aggregate. `diagonal` holds
+/// diag(Aᵢ) for a diagonal metric (the covariance scheme the paper adopts);
+/// otherwise it is empty and `full` holds the symmetric PSD Aᵢ.
+struct QuadraticComponent {
+  linalg::Vector query;
+  linalg::Vector diagonal;
+  linalg::Matrix full;
+  double weight = 1.0;  ///< mᵢ in the Eq. 5 combine; unused otherwise.
+};
+
+/// The quadratic structure of a metric, as exposed to filter-and-refine
+/// search (index/filter_refine.h): either one plain quadratic form
+/// (`harmonic` false, exactly one component) or the paper's disjunctive
+/// aggregate of Eq. 5 over the components (`harmonic` true, the α = −2
+/// weighted power mean Σmᵢ / Σ(mᵢ/d²ᵢ)). Eq. 5 is monotone in each d²ᵢ, so
+/// combining per-component *lower bounds* with the same rule lower-bounds
+/// the aggregate.
+struct QuadraticDecomposition {
+  std::vector<QuadraticComponent> components;
+  bool harmonic = false;
+  double total_weight = 0.0;  ///< Σ mᵢ when harmonic.
+};
+
 /// A query-to-point dissimilarity measure, the abstraction the k-NN index
 /// searches under. Relevance feedback continually *changes* the metric (new
 /// weights, new query points, new cluster shapes), so the index must treat
@@ -59,6 +83,12 @@ class DistanceFunction {
   /// A lower bound of `Distance(x)` over all x in `rect`. The default (0)
   /// disables pruning but keeps the search correct.
   virtual double MinDistance(const Rect& rect) const;
+
+  /// Fills `out` with the metric's quadratic structure and returns true when
+  /// the metric is a (combination of) quadratic form(s) — the contract the
+  /// filter-and-refine index builds its contractive lower bounds on. The
+  /// default returns false: opaque metrics simply skip the filter stage.
+  virtual bool Decompose(QuadraticDecomposition* out) const;
 };
 
 /// Squared Euclidean distance to a fixed query point.
@@ -71,6 +101,7 @@ class EuclideanDistance final : public DistanceFunction {
   void DistanceBatch(const linalg::FlatView& view,
                      double* out) const override;
   double MinDistance(const Rect& rect) const override;
+  bool Decompose(QuadraticDecomposition* out) const override;
 
  private:
   double ScoreRow(const double* x) const;
@@ -89,6 +120,7 @@ class WeightedEuclideanDistance final : public DistanceFunction {
   void DistanceBatch(const linalg::FlatView& view,
                      double* out) const override;
   double MinDistance(const Rect& rect) const override;
+  bool Decompose(QuadraticDecomposition* out) const override;
 
  private:
   double ScoreRow(const double* x) const;
@@ -120,6 +152,7 @@ class MahalanobisDistance final : public DistanceFunction {
   void DistanceBatch(const linalg::FlatView& view,
                      double* out) const override;
   double MinDistance(const Rect& rect) const override;
+  bool Decompose(QuadraticDecomposition* out) const override;
 
  private:
   double ScoreRow(const double* x) const;

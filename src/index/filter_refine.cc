@@ -1,0 +1,331 @@
+#include "index/filter_refine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/metrics.h"
+
+namespace qcluster::index {
+
+namespace {
+
+/// Minimum points per shard, matching LinearScanIndex so the two indexes
+/// shard identically and stay comparable in the bench output.
+constexpr std::size_t kMinShardPoints = 1024;
+
+/// Relative slack on the survivor test `lb · slack <= θ`. The contractive
+/// bound holds in exact arithmetic; the computed lower bound can exceed the
+/// computed exact distance by a few ulps of accumulated rounding, so the
+/// comparison must absorb that before it is allowed to prune. 1e-9 is ~1e5
+/// times the worst-case relative rounding of the d-term accumulations while
+/// still pruning everything meaningfully farther than θ.
+constexpr double kLowerBoundSlack = 1.0 - 1e-9;
+
+/// Rows gathered per refinement sub-batch: bounds the per-thread gather
+/// scratch while keeping the batched kernel amortized over survivor rows
+/// that are scattered in the original block.
+constexpr std::size_t kGatherRows = 256;
+
+const std::vector<linalg::Vector>& Deref(
+    const std::vector<linalg::Vector>* points) {
+  QCLUSTER_CHECK(points != nullptr);
+  return *points;
+}
+
+}  // namespace
+
+FilterRefineIndex::FilterRefineIndex(const std::vector<linalg::Vector>* points,
+                                     int pca_dims, ThreadPool* pool)
+    : owned_(linalg::FlatBlock::FromPoints(Deref(points))),
+      view_(owned_.view()),
+      pca_dims_(pca_dims),
+      pool_(pool),
+      fallback_(view_, pool) {}
+
+FilterRefineIndex::FilterRefineIndex(linalg::FlatView view, int pca_dims,
+                                     ThreadPool* pool)
+    : view_(view), pca_dims_(pca_dims), pool_(pool), fallback_(view, pool) {}
+
+int FilterRefineIndex::reduced_dims(int dim) const {
+  QCLUSTER_CHECK(dim > 0);
+  if (pca_dims_ > 0) return std::min(pca_dims_, dim);
+  return std::max(1, dim / 4);
+}
+
+long long FilterRefineIndex::rebuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebuilds_;
+}
+
+ThreadPool& FilterRefineIndex::pool() const {
+  return pool_ != nullptr ? *pool_ : ThreadPool::Global();
+}
+
+std::shared_ptr<const FilterRefineIndex::Projection>
+FilterRefineIndex::EnsureProjection(const QuadraticDecomposition& decomp,
+                                    int reduced) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cache_ != nullptr && cache_->reduced == reduced &&
+      cache_->key_diagonals.size() == decomp.components.size()) {
+    bool match = true;
+    for (std::size_t i = 0; i < decomp.components.size() && match; ++i) {
+      const QuadraticComponent& c = decomp.components[i];
+      if (c.diagonal.empty()) {
+        match = cache_->key_diagonals[i].empty() &&
+                cache_->key_fulls[i] == c.full;
+      } else {
+        match = cache_->key_diagonals[i] == c.diagonal;
+      }
+    }
+    if (match) return cache_;
+  }
+
+  // The metric's covariance structure changed (a new feedback round refits
+  // the cluster ellipsoids): refit the per-component projectors and repack
+  // the reduced block. Queries alone never trigger a rebuild — the
+  // projector depends only on Aᵢ, so repeated queries under one metric
+  // amortize this cost.
+  QCLUSTER_TIMED("index.filter_refine.rebuild");
+  auto built = std::make_shared<Projection>();
+  built->reduced = reduced;
+  built->projectors.reserve(decomp.components.size());
+  for (const QuadraticComponent& c : decomp.components) {
+    if (c.diagonal.empty()) {
+      built->key_diagonals.emplace_back();
+      built->key_fulls.push_back(c.full);
+      built->projectors.push_back(
+          linalg::Projector::Fit(c.full, view_, reduced));
+    } else {
+      built->key_diagonals.push_back(c.diagonal);
+      built->key_fulls.emplace_back();
+      built->projectors.push_back(
+          linalg::Projector::FitDiagonal(c.diagonal, view_, reduced));
+    }
+    // An uncertified component (indefinite or near-singular full metric —
+    // see Projector::contractive()) poisons the whole aggregate: the exact
+    // kernel may snap its form to zero where any positive reduced distance
+    // would over-prune. Cache the verdict and search exhaustively instead.
+    built->usable = built->usable && built->projectors.back().contractive();
+  }
+
+  if (built->usable) {
+    // Pack the projected database: row i is [P₀(xᵢ) | P₁(xᵢ) | ...], one
+    // contiguous segment per component, so the filter scan stays a single
+    // linear sweep.
+    const std::size_t comps = decomp.components.size();
+    const int width = static_cast<int>(comps) * reduced;
+    std::vector<double> data(view_.n * static_cast<std::size_t>(width));
+    pool().ParallelFor(
+        view_.n, kMinShardPoints,
+        [&](int, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            double* out = data.data() + i * static_cast<std::size_t>(width);
+            for (std::size_t j = 0; j < comps; ++j) {
+              built->projectors[j].Project(
+                  view_.row(i), out + j * static_cast<std::size_t>(reduced));
+            }
+          }
+        });
+    built->block =
+        linalg::FlatBlock::FromRaw(std::move(data), view_.n, width);
+  }
+  cache_ = std::move(built);
+  ++rebuilds_;
+  MetricAdd("index.filter_refine.rebuilds");
+  return cache_;
+}
+
+std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
+                                                int k,
+                                                SearchStats* stats) const {
+  QCLUSTER_CHECK(k > 0);
+  QuadraticDecomposition decomp;
+  if (!dist.Decompose(&decomp) || decomp.components.empty()) {
+    // Opaque metric: no quadratic structure to lower-bound, scan everything.
+    MetricAdd("index.filter_refine.fallbacks");
+    return fallback_.Search(dist, k, stats);
+  }
+  QCLUSTER_CHECK(decomp.harmonic || decomp.components.size() == 1);
+
+  QCLUSTER_TIMED("index.filter_refine.search");
+  const bool metrics = MetricsEnabled();
+  const auto start = metrics ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+
+  const std::size_t n = view_.n;
+  if (n == 0) {
+    FinishSearch("index.filter_refine", SearchStats{}, stats);
+    return {};
+  }
+  QCLUSTER_CHECK(dist.dim() == view_.dim);
+  const int reduced = reduced_dims(view_.dim);
+  const std::shared_ptr<const Projection> proj =
+      EnsureProjection(decomp, reduced);
+  if (!proj->usable) {
+    MetricAdd("index.filter_refine.fallbacks");
+    return fallback_.Search(dist, k, stats);
+  }
+  ThreadPool& tp = pool();
+
+  // Project each component's query point into its reduced coordinates once.
+  const std::size_t comps = decomp.components.size();
+  std::vector<linalg::Vector> zq(comps);
+  for (std::size_t j = 0; j < comps; ++j) {
+    QCLUSTER_CHECK(static_cast<int>(decomp.components[j].query.size()) ==
+                   view_.dim);
+    zq[j] = proj->projectors[j].Project(decomp.components[j].query);
+  }
+
+  // Filter: a contractive lower bound for every point from the reduced
+  // block, sharded exactly like the exhaustive scan.
+  const linalg::FlatView reduced_view = proj->block.view();
+  std::vector<double> lbs(n);
+  if (!decomp.harmonic) {
+    // One quadratic form: the whole reduced row is the component segment,
+    // so the existing batched Euclidean kernel scans it directly.
+    const EuclideanDistance filter(zq[0]);
+    tp.ParallelFor(n, kMinShardPoints,
+                   [&](int, std::size_t begin, std::size_t end) {
+                     filter.DistanceBatch(reduced_view.Slice(begin, end),
+                                          lbs.data() + begin);
+                   });
+  } else {
+    // Eq. 5 aggregate: per-cluster reduced distances combined with the same
+    // α = −2 rule. The aggregate is monotone in each d²ᵢ, so feeding it
+    // per-cluster lower bounds yields a lower bound on the whole metric.
+    tp.ParallelFor(
+        n, kMinShardPoints, [&](int, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const double* row = reduced_view.row(i);
+            double denom = 0.0;
+            bool zero = false;
+            for (std::size_t j = 0; j < comps; ++j) {
+              const double* seg =
+                  row + j * static_cast<std::size_t>(reduced);
+              const linalg::Vector& q = zq[j];
+              double d2 = 0.0;
+              for (std::size_t t = 0; t < q.size(); ++t) {
+                const double d = q[t] - seg[t];
+                d2 += d * d;
+              }
+              if (d2 <= 0.0) {
+                zero = true;
+                break;
+              }
+              denom += decomp.components[j].weight / d2;
+            }
+            lbs[i] = zero ? 0.0
+                     : (denom <= 0.0
+                            ? std::numeric_limits<double>::infinity()
+                            : decomp.total_weight / denom);
+          }
+        });
+  }
+
+  // Seed: refine the k best lower-bound candidates exactly. They are real
+  // database points, so their worst exact distance θ upper-bounds the true
+  // k-th neighbor distance.
+  BoundedTopK seed_top(std::min(k, static_cast<int>(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    seed_top.Push(Neighbor{static_cast<int>(i), lbs[i]});
+  }
+  const std::vector<Neighbor> seeds = std::move(seed_top).TakeSorted();
+  double theta = 0.0;
+  {
+    std::vector<double> gathered(seeds.size() *
+                                 static_cast<std::size_t>(view_.dim));
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const double* src = view_.row(static_cast<std::size_t>(seeds[s].id));
+      std::copy(src, src + view_.dim,
+                gathered.begin() + s * static_cast<std::size_t>(view_.dim));
+    }
+    std::vector<double> exact(seeds.size());
+    dist.DistanceBatch(
+        linalg::FlatView{gathered.data(), seeds.size(), view_.dim},
+        exact.data());
+    for (double e : exact) theta = std::max(theta, e);
+  }
+
+  // Survivors: every point whose lower bound cannot rule it out at θ. A θ
+  // of exactly zero leaves the relative slack no room (a true zero-distance
+  // point can carry an epsilon-positive computed bound), so refine
+  // everything in that degenerate case.
+  std::vector<int> survivors;
+  if (theta <= 0.0) {
+    survivors.resize(n);
+    for (std::size_t i = 0; i < n; ++i) survivors[i] = static_cast<int>(i);
+  } else {
+    survivors.reserve(seeds.size() * 4);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lbs[i] * kLowerBoundSlack <= theta) {
+        survivors.push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  // Refine: exact full-dimension distances for the survivors only, gathered
+  // into contiguous sub-batches for the metric's own kernel — the values
+  // (and therefore ids, distances, and tie-breaks) are bit-identical to the
+  // exhaustive scan's. Survivor order and shard boundaries depend only on
+  // the scores and (m, threads), so any thread count merges identically.
+  const std::size_t m = survivors.size();
+  const int dim = view_.dim;
+  const int shards = tp.ShardCount(m, kMinShardPoints);
+  std::vector<std::vector<Neighbor>> shard_top(
+      static_cast<std::size_t>(shards));
+  tp.ParallelFor(
+      m, kMinShardPoints, [&](int shard, std::size_t begin, std::size_t end) {
+        // Reused across searches: per pool thread, so steady-state
+        // refinement allocates nothing per shard.
+        static thread_local std::vector<double> gathered;
+        static thread_local std::vector<double> exact;
+        BoundedTopK top(k);
+        for (std::size_t c0 = begin; c0 < end; c0 += kGatherRows) {
+          const std::size_t c1 = std::min(end, c0 + kGatherRows);
+          const std::size_t rows = c1 - c0;
+          gathered.resize(rows * static_cast<std::size_t>(dim));
+          for (std::size_t r = 0; r < rows; ++r) {
+            const double* src =
+                view_.row(static_cast<std::size_t>(survivors[c0 + r]));
+            std::copy(src, src + dim,
+                      gathered.begin() + r * static_cast<std::size_t>(dim));
+          }
+          exact.resize(rows);
+          dist.DistanceBatch(linalg::FlatView{gathered.data(), rows, dim},
+                             exact.data());
+          for (std::size_t r = 0; r < rows; ++r) {
+            top.Push(Neighbor{survivors[c0 + r], exact[r]});
+          }
+        }
+        shard_top[static_cast<std::size_t>(shard)] =
+            std::move(top).TakeSorted();
+      });
+
+  std::size_t total = 0;
+  for (const auto& t : shard_top) total += t.size();
+  std::vector<Neighbor> merged;
+  merged.reserve(total);
+  for (auto& t : shard_top) merged.insert(merged.end(), t.begin(), t.end());
+
+  SearchStats local;
+  local.distance_evaluations = static_cast<long long>(seeds.size() + m);
+  FinishSearch("index.filter_refine", local, stats);
+  if (metrics) {
+    MetricAdd("index.filter_refine.candidates", static_cast<long long>(m));
+    MetricRecord("index.filter_refine.refine_ratio",
+                 static_cast<double>(m) / static_cast<double>(n));
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (seconds > 0.0) {
+      MetricRecord("index.filter_refine.points_per_sec",
+                   static_cast<double>(n) / seconds);
+    }
+  }
+  return TopK(std::move(merged), k);
+}
+
+}  // namespace qcluster::index

@@ -16,6 +16,12 @@ IncrementalKnn::IncrementalKnn(const BrTree* tree,
   }
 }
 
+IncrementalKnn::~IncrementalKnn() {
+  // One whole browse counts as one "search" in the registry, however many
+  // Next() calls it spanned.
+  FinishSearch("index.incremental", stats_, nullptr);
+}
+
 std::optional<Neighbor> IncrementalKnn::Next() {
   while (!frontier_.empty()) {
     const Entry entry = frontier_.top();

@@ -20,6 +20,14 @@ class IncrementalKnn {
  public:
   IncrementalKnn(const BrTree* tree, const DistanceFunction* dist);
 
+  /// Folds the browse's accumulated cost into the global metrics registry
+  /// under `index.incremental.*`, so incremental browsing reports uniformly
+  /// with the Search-based indexes.
+  ~IncrementalKnn();
+
+  IncrementalKnn(const IncrementalKnn&) = delete;
+  IncrementalKnn& operator=(const IncrementalKnn&) = delete;
+
   /// Returns the next nearest neighbor, or nullopt when exhausted.
   std::optional<Neighbor> Next();
 

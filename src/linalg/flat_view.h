@@ -48,6 +48,18 @@ class FlatBlock {
     return block;
   }
 
+  /// Adopts an already-packed row-major buffer of `n` rows of `dim` doubles
+  /// (`data.size() == n * dim`). Lets producers that fill rows in place —
+  /// e.g. the filter-and-refine index writing projected points — build a
+  /// block without a second copy.
+  static FlatBlock FromRaw(std::vector<double> data, std::size_t n, int dim) {
+    FlatBlock block;
+    block.data_ = std::move(data);
+    block.n_ = n;
+    block.dim_ = dim;
+    return block;
+  }
+
   FlatView view() const { return FlatView{data_.data(), n_, dim_}; }
   std::size_t size() const { return n_; }
   int dim() const { return dim_; }
