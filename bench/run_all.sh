@@ -45,3 +45,17 @@ fi
 echo
 echo "Regenerated $(ls BENCH_*.json | wc -l) BENCH_*.json exports in ${build_dir}/bench:"
 ls -1 BENCH_*.json
+
+# The invariant-audit layer (QCLUSTER_AUDIT) only exists in Debug builds —
+# Release compiles it out, so its cost cannot be read off the sweep above.
+# Build just bench_audit_overhead in a Debug tree and print the audited vs
+# unaudited session cost. Set QCLUSTER_BENCH_NO_AUDIT=1 to skip.
+if [[ "${QCLUSTER_BENCH_NO_AUDIT:-0}" != "1" ]]; then
+  echo
+  echo "==> bench_audit_overhead (Debug tree: audits compiled in)"
+  debug_dir="${build_dir}-audit-debug"
+  cmake -B "${debug_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Debug \
+    -DQCLUSTER_BUILD_TESTS=OFF -DQCLUSTER_BUILD_EXAMPLES=OFF > /dev/null
+  cmake --build "${debug_dir}" -j --target bench_audit_overhead
+  (cd "${debug_dir}/bench" && ./bench_audit_overhead "${extra_flags[@]}")
+fi

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# clang-tidy driver: runs the repo-root .clang-tidy configuration over every
+# first-party translation unit under src/, using the compilation database of
+# a configured build tree. Usage:
+#
+#   bench/run_tidy.sh [build-dir] [-- extra clang-tidy flags...]
+#
+# Defaults to build/ next to the repo root; the tree is (re)configured if it
+# has no compile_commands.json yet. Exits non-zero on any finding — the
+# .clang-tidy config promotes all warnings to errors — or when no clang-tidy
+# binary is available (install one: apt-get install clang-tidy).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  build_dir="$1"
+  shift
+fi
+extra_flags=()
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+  extra_flags=("$@")
+fi
+
+tidy=""
+for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+  if command -v "${candidate}" > /dev/null 2>&1; then
+    tidy="${candidate}"
+    break
+  fi
+done
+if [[ -z "${tidy}" ]]; then
+  echo "error: no clang-tidy binary found on PATH" >&2
+  echo "hint: apt-get install clang-tidy" >&2
+  exit 2
+fi
+echo "==> $("${tidy}" --version | head -n 1)"
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  cmake -B "${build_dir}" -S "${repo_root}"
+fi
+
+# Every first-party translation unit; headers are pulled in through
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t files < <(find "${repo_root}/src" -name '*.cc' | sort)
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "error: no sources found under ${repo_root}/src" >&2
+  exit 1
+fi
+
+jobs="$(nproc 2> /dev/null || echo 2)"
+echo "==> linting ${#files[@]} translation units (${jobs} jobs)"
+printf '%s\n' "${files[@]}" | xargs -P "${jobs}" -n 4 \
+  "${tidy}" -p "${build_dir}" --quiet "${extra_flags[@]}"
+echo "==> clang-tidy: zero findings"

@@ -1,0 +1,48 @@
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace qcluster {
+namespace {
+
+std::atomic<bool> g_audit_enabled{false};
+
+}  // namespace
+
+bool AuditEnabled() {
+  return g_audit_enabled.load(std::memory_order_relaxed);
+}
+
+void SetAuditEnabled(bool enabled) {
+  g_audit_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void ReportAuditViolation(const Status& status, const char* file, int line) {
+  // Counted unconditionally (not gated by MetricsEnabled): the whole point
+  // of `audit.violations` is that a clean audited run can assert it is 0.
+  MetricsRegistry::Global().counter("audit.violations").Add(1);
+  internal::LogMessage(LogLevel::kError, file, line)
+      << "audit violation: " << status.ToString();
+}
+
+bool InitAuditFromEnv() {
+  static const bool applied = [] {
+    const char* spec = std::getenv("QCLUSTER_AUDIT");
+    if (spec == nullptr || spec[0] == '\0') return false;
+    if (std::strcmp(spec, "0") == 0 || std::strcmp(spec, "off") == 0) {
+      return false;
+    }
+    SetAuditEnabled(true);
+    return true;
+  }();
+  return applied;
+}
+
+}  // namespace internal
+}  // namespace qcluster

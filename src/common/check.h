@@ -50,4 +50,75 @@ namespace qcluster::internal {
     }                                                                    \
   } while (false)
 
+namespace qcluster {
+
+/// Whether QCLUSTER_AUDIT sites run their validators. Off by default even
+/// in Debug (the algebraic audits cost up to O(d³) per call site); flipped
+/// by the QCLUSTER_AUDIT=1 environment variable at process start or
+/// programmatically (tests, bench harness). Has no effect in Release
+/// builds, where the audit sites compile to nothing.
+bool AuditEnabled();
+void SetAuditEnabled(bool enabled);
+
+namespace internal {
+
+/// Records one failed runtime audit: logs the violated invariant (the
+/// Status message names the paper equation) with its call site and bumps
+/// the `audit.violations` counter in the global metrics registry. Audits
+/// report instead of aborting — a violated algebraic invariant usually
+/// means a tolerance or numerical issue worth surfacing in bulk, not a
+/// corrupted process.
+void ReportAuditViolation(const Status& status, const char* file, int line);
+
+/// Applies QCLUSTER_AUDIT from the environment; idempotent. Anchored by the
+/// inline variable below so static-library linking keeps the initializer in
+/// every binary that includes this header.
+bool InitAuditFromEnv();
+inline const bool kAuditEnvApplied = InitAuditFromEnv();
+
+}  // namespace internal
+}  // namespace qcluster
+
+/// Debug-only contract check: QCLUSTER_CHECK in Debug builds, fully
+/// compiled out (condition not evaluated) under NDEBUG. `sizeof` keeps the
+/// condition type-checked and its operands "used" in Release without
+/// generating code.
+#ifndef NDEBUG
+#define QCLUSTER_DCHECK(condition) QCLUSTER_CHECK(condition)
+#define QCLUSTER_DCHECK_MSG(condition, message) \
+  QCLUSTER_CHECK_MSG(condition, message)
+#else
+#define QCLUSTER_DCHECK(condition) \
+  do {                             \
+    (void)sizeof(!(condition));    \
+  } while (false)
+#define QCLUSTER_DCHECK_MSG(condition, message) \
+  do {                                          \
+    (void)sizeof(!(condition));                 \
+    (void)sizeof(message);                      \
+  } while (false)
+#endif
+
+/// Runtime invariant audit: evaluates a Status-returning validator
+/// expression and reports a violation (log + `audit.violations` counter)
+/// when it is not OK. Active only in Debug builds *and* when
+/// qcluster::AuditEnabled() — the validator expression is never evaluated
+/// otherwise; Release builds compile the whole site to nothing.
+#ifndef NDEBUG
+#define QCLUSTER_AUDIT(expr)                                          \
+  do {                                                                \
+    if (::qcluster::AuditEnabled()) {                                 \
+      const ::qcluster::Status qcluster_audit_status_ = (expr);       \
+      if (!qcluster_audit_status_.ok()) {                             \
+        ::qcluster::internal::ReportAuditViolation(                   \
+            qcluster_audit_status_, __FILE__, __LINE__);              \
+      }                                                               \
+    }                                                                 \
+  } while (false)
+#else
+#define QCLUSTER_AUDIT(expr) \
+  do {                       \
+  } while (false)
+#endif
+
 #endif  // QCLUSTER_COMMON_CHECK_H_

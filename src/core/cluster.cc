@@ -1,6 +1,7 @@
 #include "core/cluster.h"
 
 #include "common/check.h"
+#include "core/invariants.h"
 
 namespace qcluster::core {
 
@@ -20,6 +21,9 @@ Cluster Cluster::Merged(const Cluster& a, const Cluster& b) {
   QCLUSTER_CHECK(a.dim() == b.dim());
   Cluster out(a.dim());
   out.stats_ = stats::WeightedStats::Merged(a.stats_, b.stats_);
+  // Eq. 11-13: the merged summary must close over the operands' weights,
+  // means, and scatters (independent recomputation in the validator).
+  QCLUSTER_AUDIT(ValidateMergeClosure(a.stats_, b.stats_, out.stats_));
   out.points_ = a.points_;
   out.points_.insert(out.points_.end(), b.points_.begin(), b.points_.end());
   out.scores_ = a.scores_;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "core/invariants.h"
 #include "linalg/eigen_sym.h"
 
 namespace qcluster::core {
@@ -124,6 +125,20 @@ double DisjunctiveDistance::ClusterDistance(std::size_t i,
 }
 
 double DisjunctiveDistance::ScoreRow(const double* x) const {
+#ifndef NDEBUG
+  if (AuditEnabled()) {
+    // Audited path: materialize the per-cluster distances so the Eq. 5
+    // aggregation can be validated; routes through Aggregate, which carries
+    // the audit. Results are identical — the same ClusterDistance values
+    // feed the same accumulation order.
+    static thread_local std::vector<double> audit_d2;
+    audit_d2.resize(centroids_.size());
+    for (std::size_t i = 0; i < centroids_.size(); ++i) {
+      audit_d2[i] = ClusterDistance(i, x);
+    }
+    return Aggregate(audit_d2.data(), audit_d2.size());
+  }
+#endif
   // Eq. 5 accumulated inline — no per-point d2 buffer. A zero per-cluster
   // distance means the point sits on a representative: the fuzzy OR
   // yields 0.
@@ -195,12 +210,24 @@ bool DisjunctiveDistance::Decompose(index::QuadraticDecomposition* out) const {
 
 double DisjunctiveDistance::Aggregate(const double* d2, std::size_t n) const {
   double denom = 0.0;
+  double result = 0.0;
+  bool zero = false;
   for (std::size_t i = 0; i < n; ++i) {
-    if (d2[i] <= 0.0) return 0.0;
+    if (d2[i] <= 0.0) {
+      zero = true;
+      break;
+    }
     denom += weights_[i] / d2[i];
   }
-  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
-  return total_weight_ / denom;
+  if (!zero) {
+    result = denom <= 0.0 ? std::numeric_limits<double>::infinity()
+                          : total_weight_ / denom;
+  }
+  // Eq. 5: monotone non-negative aggregation — the fuzzy OR stays within
+  // the [min, max] bounds of its per-cluster inputs.
+  QCLUSTER_AUDIT(ValidateDisjunctiveAggregate(d2, weights_.data(), n,
+                                              total_weight_, result));
+  return result;
 }
 
 }  // namespace qcluster::core

@@ -1,0 +1,159 @@
+#ifndef QCLUSTER_CORE_INVARIANTS_H_
+#define QCLUSTER_CORE_INVARIANTS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/knn.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/matrix.h"
+#include "stats/weighted_stats.h"
+
+/// Runtime validators for the algebraic invariants the paper states and the
+/// engine's correctness rests on. Each returns Status::OK when the invariant
+/// holds (within a numerical tolerance) and a FailedPrecondition naming the
+/// violated equation otherwise. They are wired into the hot paths behind
+/// QCLUSTER_AUDIT (see common/check.h): never evaluated in Release builds,
+/// and only evaluated in Debug when auditing is switched on — several cost
+/// O(d³), far more than the operation they certify.
+///
+/// Validators callable from the stats/ and index/ layers are defined inline
+/// here (those libraries sit below qcluster_core in the link order);
+/// validators used only by core/ translation units live in invariants.cc.
+namespace qcluster::core {
+
+/// Relative tolerances for the audits. The validators certify algebra that
+/// holds exactly in real arithmetic; the slack only absorbs floating-point
+/// accumulation (a few hundred ulps on the d- and n-term reductions), so
+/// genuine sign or closure errors exceed it by many orders of magnitude.
+inline constexpr double kAuditSymmetryTol = 1e-9;
+inline constexpr double kAuditPsdTol = 1e-7;
+inline constexpr double kAuditClosureTol = 1e-8;
+inline constexpr double kAuditBoundTol = 1e-9;
+
+/// Eq. 7 / Eq. 10: every covariance (and pooled covariance, Eq. 15) entering
+/// classification — and its inverse — must be symmetric and positive
+/// semi-definite, or the quadratic forms d²(x, c) lose their distance
+/// semantics. Symmetry is checked entry-wise relative to the largest
+/// magnitude; PSD via the spectrum (λ_min >= −kAuditPsdTol · scale). A
+/// diverging eigensolver certifies nothing and is not reported as a
+/// violation. `what` names the matrix in the report.
+inline Status ValidateSymmetricPsd(const linalg::Matrix& m, const char* what) {
+  if (m.rows() != m.cols()) {
+    return Status::FailedPrecondition(
+        std::string(what) + ": non-square matrix violates Eq. 7/10");
+  }
+  double max_abs = 0.0;
+  double max_asym = 0.0;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      max_abs = std::max(max_abs, std::abs(m(r, c)));
+      if (c > r) max_asym = std::max(max_asym, std::abs(m(r, c) - m(c, r)));
+    }
+  }
+  if (!std::isfinite(max_abs)) {
+    return Status::FailedPrecondition(
+        std::string(what) + ": non-finite entries violate Eq. 7/10");
+  }
+  if (max_asym > kAuditSymmetryTol * std::max(max_abs, 1e-300)) {
+    return Status::FailedPrecondition(
+        std::string(what) + ": asymmetry " + std::to_string(max_asym) +
+        " violates Eq. 7/10 symmetry");
+  }
+  const Result<linalg::SymmetricEigen> eigen = linalg::EigenSymmetric(m);
+  if (!eigen.ok() || eigen.value().values.empty()) return Status::OK();
+  const double lambda_max = eigen.value().values.front();
+  const double lambda_min = eigen.value().values.back();
+  const double scale = std::max({std::abs(lambda_max), std::abs(lambda_min),
+                                 1e-300});
+  if (lambda_min < -kAuditPsdTol * scale) {
+    return Status::FailedPrecondition(
+        std::string(what) + ": lambda_min " + std::to_string(lambda_min) +
+        " < 0 violates Eq. 7/10 positive semi-definiteness");
+  }
+  return Status::OK();
+}
+
+/// Eq. 14: T² = (m_i·m_j)/(m_i+m_j) · (c_i−c_j)' S⁻¹ (c_i−c_j) is a scaled
+/// quadratic form under a PSD pooled inverse, so it must be finite and
+/// non-negative, and the weight total must be positive for the scaling to
+/// be defined (Eq. 16 dof).
+inline Status ValidateHotellingT2(double t2, double m_total) {
+  if (!(m_total > 0.0)) {
+    return Status::FailedPrecondition(
+        "Hotelling total weight " + std::to_string(m_total) +
+        " <= 0 violates Eq. 14/16");
+  }
+  if (!std::isfinite(t2) || t2 < -kAuditPsdTol * std::max(1.0, m_total)) {
+    return Status::FailedPrecondition(
+        "Hotelling T² " + std::to_string(t2) +
+        " negative or non-finite violates Eq. 14");
+  }
+  return Status::OK();
+}
+
+/// Theorem 1 / Eq. 17–19: the PCA-reduced distance is a lower bound on the
+/// exact quadratic-form distance — dropping coordinates of an orthonormal
+/// rotation of the whitened difference can only shrink the norm. Audited on
+/// sampled (point, query) pairs where both values are already computed.
+inline Status ValidateContractiveBound(double reduced, double exact,
+                                       const char* what) {
+  if (!(reduced >= 0.0)) {
+    return Status::FailedPrecondition(
+        std::string(what) + ": reduced distance " + std::to_string(reduced) +
+        " < 0 violates Theorem 1/Eq. 17");
+  }
+  if (!std::isfinite(exact)) return Status::OK();  // Nothing to bound.
+  if (reduced * (1.0 - kAuditBoundTol) >
+      exact + kAuditBoundTol * std::max(1.0, exact)) {
+    return Status::FailedPrecondition(
+        std::string(what) + ": reduced " + std::to_string(reduced) +
+        " exceeds exact " + std::to_string(exact) +
+        ", violates Theorem 1/Eq. 17-19 contractiveness");
+  }
+  return Status::OK();
+}
+
+/// Sharded top-k contract: every merged result list is strictly ascending
+/// under the (distance, id) order the indexes promise — equal distances
+/// break ties by id, and no id appears twice. A violation means a shard
+/// heap or the merge lost the deterministic tie-break.
+inline Status ValidateSortedNeighbors(const std::vector<index::Neighbor>& v,
+                                      const char* what) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const index::Neighbor& prev = v[i - 1];
+    const index::Neighbor& cur = v[i];
+    const bool ordered = prev.distance < cur.distance ||
+                         (prev.distance == cur.distance && prev.id < cur.id);
+    if (!ordered) {
+      return Status::FailedPrecondition(
+          std::string(what) + ": neighbors out of (distance, id) order at " +
+          std::to_string(i) + " — top-k heap/merge tie-break violated");
+    }
+  }
+  return Status::OK();
+}
+
+/// Eq. 11–13 closure: the merged summary must carry exactly the combined
+/// weight (Eq. 11), the weight-proportional mean (Eq. 12), and the scatter
+/// identity S = S_i + S_j + (m_i m_j / m) (x̄_i − x̄_j)(x̄_i − x̄_j)'
+/// (Eq. 13) — recomputed here independently of WeightedStats::Merged.
+Status ValidateMergeClosure(const stats::WeightedStats& a,
+                            const stats::WeightedStats& b,
+                            const stats::WeightedStats& merged);
+
+/// Eq. 5: the disjunctive aggregate is a weighted harmonic-style mean of
+/// non-negative per-cluster distances, so it must be non-negative, zero iff
+/// some per-cluster distance is zero, and bounded by the extreme d²ᵢ —
+/// monotone non-negative aggregation.
+Status ValidateDisjunctiveAggregate(const double* d2, const double* weights,
+                                    std::size_t n, double total_weight,
+                                    double result);
+
+}  // namespace qcluster::core
+
+#endif  // QCLUSTER_CORE_INVARIANTS_H_

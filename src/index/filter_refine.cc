@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "core/invariants.h"
 
 namespace qcluster::index {
 
@@ -247,6 +248,15 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
         linalg::FlatView{gathered.data(), seeds.size(), view_.dim},
         exact.data());
     for (double e : exact) theta = std::max(theta, e);
+#ifndef NDEBUG
+    // Theorem 1 / Eq. 17-19 spot-audit: the seeds are the sampled pairs for
+    // which both the reduced and the exact distance are already in hand —
+    // each lower bound must actually lower-bound its exact distance.
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      QCLUSTER_AUDIT(core::ValidateContractiveBound(
+          seeds[s].distance, exact[s], "filter_refine seed bound"));
+    }
+#endif
   }
 
   // Survivors: every point whose lower bound cannot rule it out at θ. A θ
@@ -302,6 +312,9 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
         }
         shard_top[static_cast<std::size_t>(shard)] =
             std::move(top).TakeSorted();
+        QCLUSTER_AUDIT(core::ValidateSortedNeighbors(
+            shard_top[static_cast<std::size_t>(shard)],
+            "filter_refine shard top-k"));
       });
 
   std::size_t total = 0;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "core/invariants.h"
 
 namespace qcluster::index {
 
@@ -85,6 +86,9 @@ std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
           }
           shard_top[static_cast<std::size_t>(shard)] =
               std::move(top).TakeSorted();
+          QCLUSTER_AUDIT(core::ValidateSortedNeighbors(
+              shard_top[static_cast<std::size_t>(shard)],
+              "linear_scan shard top-k"));
         });
     // Each global top-k member is inside its own shard's top-k, so merging
     // the (at most shards · k) survivors is exact.
@@ -123,6 +127,10 @@ std::vector<Neighbor> TopK(std::vector<Neighbor> all, int k) {
     all.resize(static_cast<std::size_t>(k));
   }
   std::sort(all.begin(), all.end(), cmp);
+  // Every index's final result funnels through here: the returned list must
+  // be strictly ascending under (distance, id) — the deterministic
+  // tie-break contract of the sharded merge.
+  QCLUSTER_AUDIT(core::ValidateSortedNeighbors(all, "TopK merged result"));
   return all;
 }
 

@@ -1,5 +1,6 @@
 #include "linalg/decomposition.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -34,11 +35,19 @@ double CholeskyFactor::LogDeterminant() const {
 Result<CholeskyFactor> Cholesky(const Matrix& a) {
   QCLUSTER_CHECK(a.rows() == a.cols());
   const int n = a.rows();
+  // An SPD matrix attains its largest element on the diagonal, so the
+  // max diagonal entry scales the matrix. Pivots that fall below it by
+  // more than the relative threshold are rounding residue of a
+  // rank-deficient matrix; factoring through them "succeeds" numerically
+  // but yields an explosive, typically indefinite inverse.
+  double max_diag = 0.0;
+  for (int j = 0; j < n; ++j) max_diag = std::max(max_diag, a(j, j));
+  const double min_pivot = 1e-12 * max_diag;
   Matrix l(n, n, 0.0);
   for (int j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (diag <= 0.0 || !std::isfinite(diag)) {
+    if (diag <= min_pivot || !std::isfinite(diag)) {
       return Status::SingularMatrix(
           "matrix is not numerically positive definite");
     }
@@ -137,8 +146,13 @@ Result<Matrix> Inverse(const Matrix& a) {
 }
 
 Result<Matrix> InverseSpd(const Matrix& a) {
+  // No LU fallback: when Cholesky rejects the matrix as numerically
+  // singular, LU with partial pivoting often still "succeeds" through the
+  // same tiny pivots and returns a garbage (indefinite) inverse with an ok
+  // status. Callers that can regularize (stats::InvertCovariance) must see
+  // the failure instead.
   Result<CholeskyFactor> chol = Cholesky(a);
-  if (!chol.ok()) return Inverse(a);
+  if (!chol.ok()) return chol.status();
   const int n = a.rows();
   Matrix inv(n, n);
   Vector e(static_cast<std::size_t>(n), 0.0);

@@ -43,9 +43,10 @@ Result<LuFactor> Lu(const Matrix& a);
 /// Returns the inverse of a square matrix, or kSingularMatrix.
 Result<Matrix> Inverse(const Matrix& a);
 
-/// Returns the inverse of a symmetric positive definite matrix via Cholesky;
-/// falls back to LU when the Cholesky factorization fails, and reports
-/// kSingularMatrix when both fail.
+/// Returns the inverse of a symmetric positive definite matrix via Cholesky,
+/// or kSingularMatrix when the matrix is not numerically positive definite
+/// (including rank-deficient PSD matrices whose pivots are rounding residue —
+/// no LU fallback, which would return a garbage indefinite inverse).
 Result<Matrix> InverseSpd(const Matrix& a);
 
 /// Returns the determinant of a square matrix (0 for singular input).

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "core/invariants.h"
 #include "linalg/decomposition.h"
 
 namespace qcluster::stats {
@@ -32,6 +33,10 @@ linalg::Matrix InvertCovariance(const linalg::Matrix& s,
                                 CovarianceScheme scheme,
                                 double regularization, double floor) {
   QCLUSTER_CHECK(s.rows() == s.cols());
+  // Eq. 7/10: classification quadratic forms need a symmetric PSD
+  // covariance; a violated input here means an upstream scatter update or
+  // pooling broke the algebra.
+  QCLUSTER_AUDIT(core::ValidateSymmetricPsd(s, "InvertCovariance input"));
   const int p = s.rows();
   if (scheme == CovarianceScheme::kDiagonal) {
     linalg::Vector inv_diag(static_cast<std::size_t>(p));
@@ -44,7 +49,11 @@ linalg::Matrix InvertCovariance(const linalg::Matrix& s,
   }
 
   Result<linalg::Matrix> inv = linalg::InverseSpd(s);
-  if (inv.ok()) return Symmetrized(inv.value());
+  if (inv.ok()) {
+    linalg::Matrix sym = Symmetrized(inv.value());
+    QCLUSTER_AUDIT(core::ValidateSymmetricPsd(sym, "InvertCovariance inverse"));
+    return sym;
+  }
 
   // Singular covariance: regularize the diagonal (Sec. 3.2, citing [21])
   // and retry before falling back to the diagonal scheme.

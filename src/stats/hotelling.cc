@@ -1,6 +1,7 @@
 #include "stats/hotelling.h"
 
 #include "common/check.h"
+#include "core/invariants.h"
 #include "stats/distributions.h"
 
 namespace qcluster::stats {
@@ -18,11 +19,17 @@ double HotellingT2(const WeightedStats& a, const WeightedStats& b,
 double HotellingT2WithInverse(const WeightedStats& a, const WeightedStats& b,
                               const Matrix& pooled_inverse) {
   QCLUSTER_CHECK(a.dim() == b.dim());
+  // Eq. 14-16 rest on a symmetric PSD pooled inverse; an indefinite one can
+  // drive T² negative and invert every merge decision.
+  QCLUSTER_AUDIT(
+      core::ValidateSymmetricPsd(pooled_inverse, "Hotelling pooled inverse"));
   const Vector diff = linalg::Sub(a.mean(), b.mean());
   const double quad = linalg::QuadraticForm(diff, pooled_inverse, diff);
   const double m_total = a.weight() + b.weight();
   QCLUSTER_CHECK(m_total > 0.0);
-  return a.weight() * b.weight() / m_total * quad;
+  const double t2 = a.weight() * b.weight() / m_total * quad;
+  QCLUSTER_AUDIT(core::ValidateHotellingT2(t2, m_total));
+  return t2;
 }
 
 Result<double> HotellingCriticalDistance(double m_total, int dim,

@@ -1,9 +1,11 @@
 #include "stats/covariance_scheme.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "linalg/decomposition.h"
 
 namespace qcluster::stats {
@@ -51,6 +53,27 @@ TEST(CovarianceSchemeTest, InverseSchemeRegularizesSingular) {
   }
   // Quadratic form along the null direction (1, -1) must be positive.
   EXPECT_GT(linalg::QuadraticForm({1.0, -1.0}, inv, {1.0, -1.0}), 0.0);
+}
+
+TEST(CovarianceSchemeTest, RankDeficientScatterTakesRidgePathNotGarbage) {
+  // Regression: a 16-dim scatter built from 15 points is rank-deficient.
+  // Cholesky used to accept its rounding-residue pivots, so the "inverse"
+  // came back indefinite (negative squared distances downstream, flagged
+  // by the Eq. 7/10 audit). The ridge fallback must engage instead and
+  // return a matrix whose quadratic form is positive in every direction.
+  qcluster::Rng rng(7);
+  const int dim = 16;
+  Matrix scatter(dim, dim, 0.0);
+  std::vector<linalg::Vector> pts;
+  for (int k = 0; k < dim - 1; ++k) {
+    pts.push_back(rng.GaussianVector(dim));
+    scatter = scatter.Add(linalg::OuterProduct(pts.back(), pts.back()));
+  }
+  const Matrix inv = InvertCovariance(scatter, CovarianceScheme::kInverse);
+  for (int trial = 0; trial < 50; ++trial) {
+    const linalg::Vector x = rng.GaussianVector(dim);
+    EXPECT_GT(linalg::QuadraticForm(x, inv, x), 0.0) << "trial " << trial;
+  }
 }
 
 TEST(CovarianceSchemeTest, ZeroMatrixFallsBackToDiagonal) {

@@ -37,6 +37,23 @@ TEST(CholeskyTest, RejectsNonPositiveDefinite) {
   EXPECT_FALSE(Cholesky(Matrix{{0, 0}, {0, 0}}).ok());   // Singular.
 }
 
+TEST(CholeskyTest, RejectsRankDeficientGramMatrix) {
+  // Scatter of fewer points than dimensions: exactly rank n-1, but rounding
+  // leaves tiny positive trailing pivots, so a pivot test against zero
+  // "succeeds" and produces an explosive indefinite inverse downstream.
+  // The relative pivot threshold must reject it.
+  Rng rng(31);
+  const int n = 8;
+  Matrix gram(n, n, 0.0);
+  for (int k = 0; k < n - 1; ++k) {
+    Vector v(static_cast<std::size_t>(n));
+    for (double& x : v) x = rng.Gaussian();
+    gram = gram.Add(OuterProduct(v, v));
+  }
+  EXPECT_FALSE(Cholesky(gram).ok());
+  EXPECT_FALSE(InverseSpd(gram).ok());
+}
+
 TEST(CholeskyTest, SolveRoundTrip) {
   Rng rng(21);
   for (int n : {1, 2, 5, 10}) {

@@ -1,0 +1,173 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace qcluster {
+namespace {
+
+/// Races many external submitters against one shared pool. ParallelFor is
+/// documented safe from any number of non-pool threads concurrently; under
+/// TSan this locks in that the queue, completion latch, and worker wakeups
+/// are data-race free.
+TEST(ThreadPoolStressTest, ConcurrentParallelForFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kRounds = 50;
+  constexpr std::size_t kItems = 4096;
+  std::atomic<long long> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        pool.ParallelFor(kItems, /*min_shard=*/64,
+                         [&](int, std::size_t begin, std::size_t end) {
+                           total.fetch_add(
+                               static_cast<long long>(end - begin),
+                               std::memory_order_relaxed);
+                         });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(),
+            static_cast<long long>(kSubmitters) * kRounds * kItems);
+}
+
+/// Construction/shutdown churn: pools are created, used once, and destroyed
+/// while their workers may still be draining — the destructor must join
+/// cleanly every time.
+TEST(ThreadPoolStressTest, ConcurrentConstructUseDestroy) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> drivers;
+  drivers.reserve(kThreads);
+  std::atomic<long long> total{0};
+  for (int t = 0; t < kThreads; ++t) {
+    drivers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        ThreadPool pool(3);
+        pool.ParallelFor(512, /*min_shard=*/16,
+                         [&](int, std::size_t begin, std::size_t end) {
+                           total.fetch_add(
+                               static_cast<long long>(end - begin),
+                               std::memory_order_relaxed);
+                         });
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_EQ(total.load(), static_cast<long long>(kThreads) * kRounds * 512);
+}
+
+/// The PR 2/3 serving pattern: pool workers bump registry counters and
+/// histograms while other threads create-or-get the same metrics — the
+/// exact interleaving the metrics registry promises to support.
+TEST(ThreadPoolStressTest, MetricsRegistryWritesFromPoolWorkers) {
+  const bool was_enabled = MetricsEnabled();
+  SetMetricsEnabled(true);
+  MetricsRegistry::Global().Reset();
+
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kRounds = 20;
+  constexpr std::size_t kItems = 2048;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      const std::string own = "stress.thread." + std::to_string(t);
+      for (int round = 0; round < kRounds; ++round) {
+        pool.ParallelFor(
+            kItems, /*min_shard=*/64,
+            [&](int shard, std::size_t begin, std::size_t end) {
+              MetricAdd("stress.shared.items",
+                        static_cast<long long>(end - begin));
+              MetricRecord("stress.shared.shard_size",
+                           static_cast<double>(end - begin));
+              MetricGauge("stress.shared.last_shard",
+                          static_cast<double>(shard));
+            });
+        MetricAdd(own);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("stress.shared.items"),
+            static_cast<long long>(kSubmitters) * kRounds * kItems);
+  for (int t = 0; t < kSubmitters; ++t) {
+    EXPECT_EQ(MetricsRegistry::Global().CounterValue(
+                  "stress.thread." + std::to_string(t)),
+              kRounds);
+  }
+  const auto snap = MetricsRegistry::Global().HistogramSnapshot(
+      "stress.shared.shard_size");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_GT(snap->count, 0);
+  EXPECT_GT(snap->max, 0.0);
+
+  MetricsRegistry::Global().Reset();
+  SetMetricsEnabled(was_enabled);
+}
+
+/// Histogram min/max/sum maintenance is CAS-based; hammer one histogram
+/// from every worker and check the extrema survived the races.
+TEST(ThreadPoolStressTest, HistogramExtremaUnderContention) {
+  const bool was_enabled = MetricsEnabled();
+  SetMetricsEnabled(true);
+  MetricsRegistry::Global().Reset();
+
+  Histogram& h = MetricsRegistry::Global().histogram("stress.extrema");
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 50000;
+  pool.ParallelFor(kItems, /*min_shard=*/64,
+                   [&](int, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       h.Record(static_cast<double>(i + 1) * 1e-6);
+                     }
+                   });
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<long long>(kItems));
+  EXPECT_DOUBLE_EQ(snap.min, 1e-6);
+  EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(kItems) * 1e-6);
+
+  MetricsRegistry::Global().Reset();
+  SetMetricsEnabled(was_enabled);
+}
+
+/// Concurrent ParallelFor against the global pool with the audit/metrics
+/// env hooks live — the configuration the TSan CI job runs the whole suite
+/// under.
+TEST(ThreadPoolStressTest, GlobalPoolSharedByConcurrentSearchThreads) {
+  ThreadPool& pool = ThreadPool::Global();
+  constexpr int kSubmitters = 4;
+  std::atomic<long long> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(8192, /*min_shard=*/1024,
+                         [&](int, std::size_t begin, std::size_t end) {
+                           total.fetch_add(
+                               static_cast<long long>(end - begin),
+                               std::memory_order_relaxed);
+                         });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(total.load(), static_cast<long long>(kSubmitters) * 20 * 8192);
+}
+
+}  // namespace
+}  // namespace qcluster
