@@ -51,6 +51,10 @@ fi
 
 jobs="$(nproc 2> /dev/null || echo 2)"
 echo "==> linting ${#files[@]} translation units (${jobs} jobs)"
-printf '%s\n' "${files[@]}" | xargs -P "${jobs}" -n 4 \
+# -n 1: one TU per clang-tidy invocation. Batching (-n 4) serializes each
+# batch behind its slowest member, which leaves cores idle at the tail —
+# per-TU dispatch lets xargs rebalance as invocations finish. The process
+# spawn overhead is noise next to a TU's parse time.
+printf '%s\n' "${files[@]}" | xargs -P "${jobs}" -n 1 \
   "${tidy}" -p "${build_dir}" --quiet "${extra_flags[@]}"
 echo "==> clang-tidy: zero findings"

@@ -1,0 +1,78 @@
+#ifndef QCLUSTER_COMMON_ANNOTATIONS_H_
+#define QCLUSTER_COMMON_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis annotations.
+///
+/// These macros expose Clang's `-Wthread-safety` attribute set under stable
+/// library-local names; on any other compiler they expand to nothing, so
+/// annotated headers stay portable. The analysis is purely static: every
+/// field marked QCLUSTER_GUARDED_BY must only be touched while its mutex is
+/// held, every function marked QCLUSTER_REQUIRES can only be called with the
+/// capability held, and violations are *compile errors* under the CI
+/// `thread-safety` job (Clang with `-Wthread-safety -Wthread-safety-beta
+/// -Werror`). TSan then only has to confirm what the compiler already
+/// proved — see docs/CORRECTNESS.md, "Static concurrency analysis".
+///
+/// House rules:
+///  - every `qcluster::Mutex` member documents *what it guards* by putting
+///    QCLUSTER_GUARDED_BY(mu_) on each guarded field (never a bare comment);
+///  - lock-free atomics are exempt — they are their own synchronization and
+///    carry a comment naming the protocol instead;
+///  - QCLUSTER_NO_THREAD_SAFETY_ANALYSIS is reserved for the mutex facade's
+///    own implementation and must not appear outside src/common/mutex.h.
+
+#if defined(__clang__)
+#define QCLUSTER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QCLUSTER_THREAD_ANNOTATION(x)  // No-op outside Clang.
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in diagnostics).
+#define QCLUSTER_CAPABILITY(x) QCLUSTER_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define QCLUSTER_SCOPED_CAPABILITY QCLUSTER_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding the given capability.
+#define QCLUSTER_GUARDED_BY(x) QCLUSTER_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define QCLUSTER_PT_GUARDED_BY(x) QCLUSTER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and keeps it held).
+#define QCLUSTER_REQUIRES(...) \
+  QCLUSTER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define QCLUSTER_ACQUIRE(...) \
+  QCLUSTER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define QCLUSTER_RELEASE(...) \
+  QCLUSTER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the capability; holds it iff it returned `ret`.
+#define QCLUSTER_TRY_ACQUIRE(ret, ...) \
+  QCLUSTER_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must be called *without* the capability held (non-reentrancy).
+#define QCLUSTER_EXCLUDES(...) \
+  QCLUSTER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares a fixed acquisition order between capabilities (deadlock check).
+#define QCLUSTER_ACQUIRED_BEFORE(...) \
+  QCLUSTER_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define QCLUSTER_ACQUIRED_AFTER(...) \
+  QCLUSTER_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define QCLUSTER_RETURN_CAPABILITY(x) \
+  QCLUSTER_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Reserved for the mutex
+/// facade implementation (whose bodies manipulate the untracked std
+/// primitives) — see the house rules above.
+#define QCLUSTER_NO_THREAD_SAFETY_ANALYSIS \
+  QCLUSTER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // QCLUSTER_COMMON_ANNOTATIONS_H_

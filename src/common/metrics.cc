@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/mutex.h"
+
 namespace qcluster {
 namespace {
 
@@ -133,7 +135,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -143,7 +145,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -152,7 +154,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -162,14 +164,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 long long MetricsRegistry::CounterValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 std::optional<double> MetricsRegistry::GaugeValue(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   if (it == gauges_.end()) return std::nullopt;
   return it->second->value();
@@ -177,21 +179,21 @@ std::optional<double> MetricsRegistry::GaugeValue(
 
 std::optional<Histogram::Snapshot> MetricsRegistry::HistogramSnapshot(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it == histograms_.end()) return std::nullopt;
   return it->second->snapshot();
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << "{\"schema\": \"qcluster.metrics.v1\"";
 

@@ -6,12 +6,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace qcluster {
@@ -85,6 +86,10 @@ class Histogram {
  private:
   double Percentile(double q, long long count, double min, double max) const;
 
+  // Deliberately lock-free (recording sits on the search hot path): the
+  // counts are relaxed fetch_adds, and sum/min/max are maintained by the CAS
+  // loops in metrics.cc. No GUARDED_BY applies — the atomics are their own
+  // synchronization; snapshot() tolerates torn cross-field views.
   std::atomic<long long> buckets_[kNumBuckets] = {};
   std::atomic<long long> count_{0};
   std::atomic<double> sum_{0.0};
@@ -128,16 +133,19 @@ class MetricsRegistry {
   std::string ToJson() const;
 
   /// Writes ToJson() (plus a trailing newline) to `path`.
-  Status DumpMetrics(const std::string& path) const;
+  [[nodiscard]] Status DumpMetrics(const std::string& path) const;
 
   /// Writes ToJson() to stderr.
   void DumpMetricsToStderr() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      QCLUSTER_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      QCLUSTER_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      QCLUSTER_GUARDED_BY(mu_);
 };
 
 /// Global collection switch. Off by default; flipped by QCLUSTER_METRICS or

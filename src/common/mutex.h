@@ -1,0 +1,105 @@
+#ifndef QCLUSTER_COMMON_MUTEX_H_
+#define QCLUSTER_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace qcluster {
+
+/// The library's annotated mutex: a thin facade over std::mutex that carries
+/// the Clang thread-safety capability attributes. Every lock in the library
+/// is one of these — never a bare std::mutex — so the compiler can prove the
+/// locking discipline of each guarded field (see common/annotations.h).
+///
+/// Locking goes through MutexLock (RAII) in all but exceptional cases;
+/// Lock/Unlock are public for the rare manual sequence and for tests.
+class QCLUSTER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the mutex is acquired.
+  void Lock() QCLUSTER_ACQUIRE() QCLUSTER_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.lock();
+  }
+
+  /// Releases the mutex; the caller must hold it.
+  void Unlock() QCLUSTER_RELEASE() QCLUSTER_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock();
+  }
+
+  /// Acquires the mutex iff it is free; returns whether it was acquired.
+  [[nodiscard]] bool TryLock()
+      QCLUSTER_TRY_ACQUIRE(true) QCLUSTER_NO_THREAD_SAFETY_ANALYSIS {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;  ///< Wait() needs the native handle to sleep on.
+
+  std::mutex mu_;
+};
+
+/// RAII lock for a Mutex: acquires in the constructor, releases in the
+/// destructor. SCOPED_CAPABILITY makes the analysis treat the object's
+/// lifetime as the critical section.
+class QCLUSTER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) QCLUSTER_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() QCLUSTER_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait takes the Mutex explicitly so
+/// the analysis can check the caller holds it; there is deliberately no
+/// predicate overload — a predicate lambda is a separate function to the
+/// analysis and cannot see the lock, so waits are written as explicit loops:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, sleeps until notified, and reacquires `mu`
+  /// before returning. Spurious wakeups happen; always wait in a loop.
+  void Wait(Mutex& mu) QCLUSTER_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Ownership stays with the caller's MutexLock.
+  }
+
+  /// Like Wait but gives up after `timeout`; returns false on timeout,
+  /// true when notified (or spuriously woken) in time. `mu` is reacquired
+  /// before returning either way.
+  [[nodiscard]] bool WaitFor(Mutex& mu, std::chrono::nanoseconds timeout)
+      QCLUSTER_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Wakes one waiter / all waiters. May be called with or without the
+  /// associated mutex held.
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qcluster
+
+#endif  // QCLUSTER_COMMON_MUTEX_H_

@@ -30,7 +30,14 @@ std::string_view StatusCodeName(StatusCode code);
 /// The library does not use exceptions; functions that can fail return a
 /// `Status` or a `Result<T>`. Programming errors (contract violations) abort
 /// via the QCLUSTER_CHECK macros instead.
-class Status {
+///
+/// The class itself is [[nodiscard]], so a call site that drops a returned
+/// Status on the floor is a compile error under -Werror=unused-result (on by
+/// default — see the root CMakeLists). The rare operation whose failure is
+/// genuinely acceptable routes through IgnoreError below with a comment
+/// naming why; everything else handles or propagates
+/// (QCLUSTER_RETURN_IF_ERROR / QCLUSTER_CHECK_OK).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -75,9 +82,10 @@ class Status {
 };
 
 /// A value-or-error wrapper. Access to the value when holding an error is a
-/// checked contract violation.
+/// checked contract violation. [[nodiscard]] for the same reason as Status:
+/// an ignored Result is an ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value; a Result is conceptually "a T,
   /// unless something went wrong".
@@ -125,6 +133,19 @@ template <typename T>
 void Result<T>::AbortIfError() const {
   if (!value_.has_value()) internal::DieOnBadResultAccess(status_);
 }
+
+/// The explicit discard helpers for the [[nodiscard]] error contract. House
+/// rule: every call carries a comment naming why dropping the error (or the
+/// value) is correct at that site — the helpers exist so intentional drops
+/// are greppable and reviewed, not silent.
+inline void IgnoreError(const Status&) {}
+template <typename T>
+inline void IgnoreError(const Result<T>&) {}
+
+/// Generic form for non-Status [[nodiscard]] values computed only for their
+/// side effects (e.g. a Search run purely to fill SearchStats).
+template <typename T>
+inline void DiscardResult(T&&) {}
 
 /// Propagates an error status from an expression returning `Status`.
 #define QCLUSTER_RETURN_IF_ERROR(expr)                  \

@@ -30,10 +30,10 @@ ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -41,8 +41,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -74,29 +74,32 @@ void ThreadPool::ParallelFor(
       static_cast<std::size_t>(shards);
 
   struct Completion {
-    std::mutex mu;
-    std::condition_variable cv;
-    int remaining = 0;
+    Mutex mu;
+    CondVar cv;
+    int remaining QCLUSTER_GUARDED_BY(mu) = 0;
   } done;
-  done.remaining = shards - 1;
+  {
+    MutexLock lock(done.mu);
+    done.remaining = shards - 1;
+  }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     QCLUSTER_CHECK_MSG(!stop_, "ParallelFor on a destroyed pool");
     for (int s = 1; s < shards; ++s) {
       const std::size_t begin = static_cast<std::size_t>(s) * chunk;
       const std::size_t end = std::min(n, begin + chunk);
       queue_.push_back([&fn, &done, s, begin, end] {
         if (begin < end) fn(s, begin, end);
-        std::lock_guard<std::mutex> done_lock(done.mu);
-        if (--done.remaining == 0) done.cv.notify_one();
+        MutexLock done_lock(done.mu);
+        if (--done.remaining == 0) done.cv.NotifyOne();
       });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   fn(0, 0, std::min(n, chunk));
-  std::unique_lock<std::mutex> lock(done.mu);
-  done.cv.wait(lock, [&done] { return done.remaining == 0; });
+  MutexLock lock(done.mu);
+  while (done.remaining != 0) done.cv.Wait(done.mu);
 }
 
 ThreadPool& ThreadPool::Global() {

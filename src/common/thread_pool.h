@@ -1,13 +1,14 @@
 #ifndef QCLUSTER_COMMON_THREAD_POOL_H_
 #define QCLUSTER_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace qcluster {
 
@@ -43,7 +44,7 @@ class ThreadPool {
   /// thread_count(), and never so many that a shard holds fewer than
   /// `min_shard` items (small inputs stay single-sharded — the parallel
   /// bookkeeping would cost more than it saves).
-  int ShardCount(std::size_t n, std::size_t min_shard) const;
+  [[nodiscard]] int ShardCount(std::size_t n, std::size_t min_shard) const;
 
   /// Splits [0, n) into ShardCount contiguous equal shards and runs
   /// `fn(shard, begin, end)` for each, blocking until all complete. Shard 0
@@ -63,10 +64,10 @@ class ThreadPool {
 
   const int threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ QCLUSTER_GUARDED_BY(mu_);
+  bool stop_ QCLUSTER_GUARDED_BY(mu_) = false;
 };
 
 namespace internal {

@@ -25,11 +25,12 @@ class Cluster {
   explicit Cluster(int dim);
 
   /// Creates a singleton cluster holding `x` with relevance score `score`.
-  static Cluster FromPoint(const linalg::Vector& x, double score);
+  [[nodiscard]] static Cluster FromPoint(const linalg::Vector& x,
+                                         double score);
 
   /// Merges two clusters using only their summaries (Eq. 11-13). Point lists
   /// are concatenated for bookkeeping.
-  static Cluster Merged(const Cluster& a, const Cluster& b);
+  [[nodiscard]] static Cluster Merged(const Cluster& a, const Cluster& b);
 
   /// Adds a point with relevance score `score > 0`.
   void Add(const linalg::Vector& x, double score);

@@ -1,7 +1,10 @@
 #include "core/session.h"
 
+#include <utility>
+
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 
 namespace qcluster::core {
 
@@ -17,6 +20,7 @@ std::vector<index::Neighbor> RetrievalSession::Start(
     const linalg::Vector& query) {
   QCLUSTER_TIMED("session.start");
   MetricAdd("session.starts");
+  MutexLock lock(mu_);
   query_ = query;
   history_.clear();
   initial_result_ = engine_.InitialQuery(query);
@@ -26,8 +30,14 @@ std::vector<index::Neighbor> RetrievalSession::Start(
 
 std::vector<index::Neighbor> RetrievalSession::Feedback(
     const std::vector<RelevantItem>& marked) {
-  QCLUSTER_CHECK_MSG(started(), "call Start before Feedback");
   QCLUSTER_TIMED("session.round");
+  MutexLock lock(mu_);
+  return FeedbackLocked(marked);
+}
+
+std::vector<index::Neighbor> RetrievalSession::FeedbackLocked(
+    const std::vector<RelevantItem>& marked) {
+  QCLUSTER_CHECK_MSG(query_.has_value(), "call Start before Feedback");
   SessionRound round;
   round.marked = marked;
   round.result = engine_.Feedback(marked);
@@ -42,15 +52,16 @@ std::vector<index::Neighbor> RetrievalSession::Feedback(
 }
 
 bool RetrievalSession::Undo() {
+  MutexLock lock(mu_);
   if (history_.empty()) return false;
   history_.pop_back();
   MetricAdd("session.undos");
-  Replay();
+  ReplayLocked();
   return true;
 }
 
-void RetrievalSession::Replay() {
-  QCLUSTER_CHECK(started());
+void RetrievalSession::ReplayLocked() {
+  QCLUSTER_CHECK(query_.has_value());
   // Deterministic replay of the remaining rounds restores the exact
   // engine state (clusters, dedup set, query cache) of that point in time.
   const std::vector<SessionRound> kept = std::move(history_);
@@ -58,8 +69,35 @@ void RetrievalSession::Replay() {
   initial_result_ = engine_.InitialQuery(*query_);
   current_result_ = initial_result_;
   for (const SessionRound& round : kept) {
-    Feedback(round.marked);
+    // The replayed round's result is recorded in history_; only the engine
+    // state transition matters here.
+    DiscardResult(FeedbackLocked(round.marked));
   }
+}
+
+std::vector<index::Neighbor> RetrievalSession::current_result() const {
+  MutexLock lock(mu_);
+  return current_result_;
+}
+
+std::vector<SessionRound> RetrievalSession::history() const {
+  MutexLock lock(mu_);
+  return history_;
+}
+
+std::vector<Cluster> RetrievalSession::clusters() const {
+  MutexLock lock(mu_);
+  return engine_.clusters();
+}
+
+int RetrievalSession::rounds() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(history_.size());
+}
+
+bool RetrievalSession::started() const {
+  MutexLock lock(mu_);
+  return query_.has_value();
 }
 
 }  // namespace qcluster::core

@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "core/engine.h"
 
 namespace qcluster::core {
@@ -24,6 +26,12 @@ struct SessionRound {
 /// Undo restores the engine's cluster state by replaying the marks of the
 /// remaining rounds onto a fresh engine; with the library's deterministic
 /// algorithms this reproduces the exact pre-feedback state.
+///
+/// Thread-safe: all session state (engine, query, results, history) is
+/// guarded by one internal mutex — mutators serialize, and the accessors
+/// return consistent snapshots by value, never references into guarded
+/// state. This is the contract the roadmap's long-lived session server
+/// builds on (concurrent status reads while a round is in flight).
 class RetrievalSession {
  public:
   /// Wraps an engine configuration over `database`/`knn` (both outlive the
@@ -32,46 +40,50 @@ class RetrievalSession {
                    const index::KnnIndex* knn, const QclusterOptions& options);
 
   /// Starts (or restarts) the session at the example image.
-  std::vector<index::Neighbor> Start(const linalg::Vector& query);
+  std::vector<index::Neighbor> Start(const linalg::Vector& query)
+      QCLUSTER_EXCLUDES(mu_);
 
   /// One feedback round; recorded in the history.
   std::vector<index::Neighbor> Feedback(
-      const std::vector<RelevantItem>& marked);
+      const std::vector<RelevantItem>& marked) QCLUSTER_EXCLUDES(mu_);
 
   /// Undoes the most recent feedback round, restoring results and cluster
   /// state to the previous round. Returns false when there is nothing to
   /// undo (no feedback yet).
-  bool Undo();
+  bool Undo() QCLUSTER_EXCLUDES(mu_);
 
   /// The current result set (initial or latest refined).
-  const std::vector<index::Neighbor>& current_result() const {
-    return current_result_;
-  }
+  [[nodiscard]] std::vector<index::Neighbor> current_result() const
+      QCLUSTER_EXCLUDES(mu_);
 
   /// Completed feedback rounds, oldest first.
-  const std::vector<SessionRound>& history() const { return history_; }
+  [[nodiscard]] std::vector<SessionRound> history() const
+      QCLUSTER_EXCLUDES(mu_);
 
   /// Current cluster state (empty before the first feedback).
-  const std::vector<Cluster>& clusters() const { return engine_.clusters(); }
+  [[nodiscard]] std::vector<Cluster> clusters() const QCLUSTER_EXCLUDES(mu_);
 
   /// Number of feedback rounds applied.
-  int rounds() const { return static_cast<int>(history_.size()); }
+  [[nodiscard]] int rounds() const QCLUSTER_EXCLUDES(mu_);
 
   /// True once Start has been called.
-  bool started() const { return query_.has_value(); }
+  [[nodiscard]] bool started() const QCLUSTER_EXCLUDES(mu_);
 
  private:
-  void Replay();
+  std::vector<index::Neighbor> FeedbackLocked(
+      const std::vector<RelevantItem>& marked) QCLUSTER_REQUIRES(mu_);
+  void ReplayLocked() QCLUSTER_REQUIRES(mu_);
 
-  const std::vector<linalg::Vector>* database_;
-  const index::KnnIndex* knn_;
-  QclusterOptions options_;
-  QclusterEngine engine_;
+  const std::vector<linalg::Vector>* database_;  ///< Immutable after ctor.
+  const index::KnnIndex* knn_;                   ///< Immutable after ctor.
+  QclusterOptions options_;                      ///< Immutable after ctor.
 
-  std::optional<linalg::Vector> query_;
-  std::vector<index::Neighbor> initial_result_;
-  std::vector<index::Neighbor> current_result_;
-  std::vector<SessionRound> history_;
+  mutable Mutex mu_;
+  QclusterEngine engine_ QCLUSTER_GUARDED_BY(mu_);
+  std::optional<linalg::Vector> query_ QCLUSTER_GUARDED_BY(mu_);
+  std::vector<index::Neighbor> initial_result_ QCLUSTER_GUARDED_BY(mu_);
+  std::vector<index::Neighbor> current_result_ QCLUSTER_GUARDED_BY(mu_);
+  std::vector<SessionRound> history_ QCLUSTER_GUARDED_BY(mu_);
 };
 
 }  // namespace qcluster::core

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "image/color_moments.h"
 #include "image/color_histogram.h"
 #include "image/glcm.h"
@@ -107,7 +108,7 @@ FeatureDatabase FeatureDatabase::FromRawFeatures(std::vector<Vector> raw,
 
 const index::FilterRefineIndex& FeatureDatabase::filter_refine_index(
     int pca_dims) const {
-  std::lock_guard<std::mutex> lock(fr_cache_->mu);
+  MutexLock lock(fr_cache_->mu);
   std::unique_ptr<index::FilterRefineIndex>& slot =
       fr_cache_->by_dims[pca_dims];
   if (slot == nullptr) {

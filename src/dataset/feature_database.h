@@ -3,9 +3,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "dataset/image_collection.h"
 #include "index/filter_refine.h"
 #include "linalg/flat_view.h"
@@ -34,15 +35,15 @@ class FeatureDatabase {
   /// each raw dimension (zero mean, unit variance), fits PCA on the result,
   /// and keeps the `reduced_dim`-dimensional projections (paper defaults
   /// when reduced_dim <= 0).
-  static FeatureDatabase Build(const ImageCollection& collection,
-                               FeatureType type, int reduced_dim = 0);
+  [[nodiscard]] static FeatureDatabase Build(const ImageCollection& collection,
+                                             FeatureType type,
+                                             int reduced_dim = 0);
 
   /// Builds directly from precomputed raw feature vectors and labels
   /// (used by synthetic workloads and tests).
-  static FeatureDatabase FromRawFeatures(std::vector<linalg::Vector> raw,
-                                         std::vector<int> categories,
-                                         std::vector<int> themes,
-                                         int reduced_dim);
+  [[nodiscard]] static FeatureDatabase FromRawFeatures(
+      std::vector<linalg::Vector> raw, std::vector<int> categories,
+      std::vector<int> themes, int reduced_dim);
 
   int size() const { return static_cast<int>(features_.size()); }
   int dim() const {
@@ -63,7 +64,8 @@ class FeatureDatabase {
   /// rebuilt lazily whenever the querying metric's covariance changes — see
   /// index::FilterRefineIndex). Zero-copy: the index scans flat_view().
   /// The reference stays valid for the database's lifetime. Thread-safe.
-  const index::FilterRefineIndex& filter_refine_index(int pca_dims) const;
+  [[nodiscard]] const index::FilterRefineIndex& filter_refine_index(
+      int pca_dims) const;
 
   const std::vector<int>& categories() const { return categories_; }
   const std::vector<int>& themes() const { return themes_; }
@@ -81,10 +83,13 @@ class FeatureDatabase {
 
   /// Lazily-built filter-and-refine indexes keyed by their pca_dims
   /// argument. Held behind a shared_ptr so the database stays movable
-  /// (std::mutex is not) and handed-out index references survive moves.
+  /// (a Mutex is not) and handed-out index references survive moves. The
+  /// indexes themselves are never erased, so references returned while the
+  /// lock was held stay valid after it is released.
   struct FilterRefineCache {
-    std::mutex mu;
-    std::map<int, std::unique_ptr<index::FilterRefineIndex>> by_dims;
+    Mutex mu;
+    std::map<int, std::unique_ptr<index::FilterRefineIndex>> by_dims
+        QCLUSTER_GUARDED_BY(mu);
   };
 
   std::vector<linalg::Vector> features_;

@@ -26,11 +26,12 @@ struct FeatureSet {
 
 /// Writes `set` to `path` in the library's binary format (magic + version,
 /// little-endian, doubles verbatim). Overwrites existing files.
-Status SaveFeatureSet(const FeatureSet& set, const std::string& path);
+[[nodiscard]] Status SaveFeatureSet(const FeatureSet& set,
+                                    const std::string& path);
 
 /// Reads a FeatureSet written by SaveFeatureSet. Fails with kNotFound when
 /// the file cannot be opened and kInvalidArgument on format mismatch.
-Result<FeatureSet> LoadFeatureSet(const std::string& path);
+[[nodiscard]] Result<FeatureSet> LoadFeatureSet(const std::string& path);
 
 }  // namespace qcluster::dataset
 

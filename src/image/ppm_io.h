@@ -11,12 +11,12 @@ namespace qcluster::image {
 /// Writes `img` as a binary PPM (P6) file — the simplest widely viewable
 /// raster format, used to inspect what the synthetic collection actually
 /// renders. Overwrites existing files.
-Status WritePpm(const Image& img, const std::string& path);
+[[nodiscard]] Status WritePpm(const Image& img, const std::string& path);
 
 /// Reads a binary PPM (P6) file written by WritePpm (or any 8-bit P6).
 /// Fails with kNotFound for missing files and kInvalidArgument on format
 /// errors.
-Result<Image> ReadPpm(const std::string& path);
+[[nodiscard]] Result<Image> ReadPpm(const std::string& path);
 
 }  // namespace qcluster::image
 

@@ -62,13 +62,14 @@ class BrTree final : public KnnIndex {
 
   int size() const override { return static_cast<int>(points_->size()); }
 
-  std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
-                               SearchStats* stats = nullptr) const override;
+  [[nodiscard]] std::vector<Neighbor> Search(
+      const DistanceFunction& dist, int k,
+      SearchStats* stats = nullptr) const override;
 
   /// Best-first search warm-started from `cache` (cold when empty). On
   /// return the cache holds this iteration's touched candidates, ready for
   /// the next refinement step.
-  std::vector<Neighbor> SearchCached(const DistanceFunction& dist, int k,
+  [[nodiscard]] std::vector<Neighbor> SearchCached(const DistanceFunction& dist, int k,
                                      QueryCache& cache,
                                      SearchStats* stats = nullptr) const;
 

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "core/invariants.h"
 
 namespace qcluster::index {
@@ -57,7 +58,7 @@ int FilterRefineIndex::reduced_dims(int dim) const {
 }
 
 long long FilterRefineIndex::rebuilds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rebuilds_;
 }
 
@@ -68,7 +69,7 @@ ThreadPool& FilterRefineIndex::pool() const {
 std::shared_ptr<const FilterRefineIndex::Projection>
 FilterRefineIndex::EnsureProjection(const QuadraticDecomposition& decomp,
                                     int reduced) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (cache_ != nullptr && cache_->reduced == reduced &&
       cache_->key_diagonals.size() == decomp.components.size()) {
     bool match = true;

@@ -2,9 +2,10 @@
 #define QCLUSTER_INDEX_FILTER_REFINE_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "index/knn.h"
 #include "index/linear_scan.h"
@@ -67,8 +68,9 @@ class FilterRefineIndex final : public KnnIndex {
   /// The resolved reduced dimensionality for a metric of dimension `dim`.
   int reduced_dims(int dim) const;
 
-  std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
-                               SearchStats* stats = nullptr) const override;
+  [[nodiscard]] std::vector<Neighbor> Search(
+      const DistanceFunction& dist, int k,
+      SearchStats* stats = nullptr) const override;
 
   /// Number of times the cached projected block has been (re)built — one
   /// per distinct covariance structure seen (exposed for tests).
@@ -100,9 +102,9 @@ class FilterRefineIndex final : public KnnIndex {
   ThreadPool* const pool_;  ///< nullptr = ThreadPool::Global().
   LinearScanIndex fallback_;  ///< Exhaustive path for opaque metrics.
 
-  mutable std::mutex mu_;  ///< Guards cache_ and rebuilds_.
-  mutable std::shared_ptr<const Projection> cache_;
-  mutable long long rebuilds_ = 0;
+  mutable Mutex mu_;
+  mutable std::shared_ptr<const Projection> cache_ QCLUSTER_GUARDED_BY(mu_);
+  mutable long long rebuilds_ QCLUSTER_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qcluster::index

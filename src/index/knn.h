@@ -51,8 +51,11 @@ class KnnIndex {
 
   /// Returns the k nearest points under `dist` (fewer when the database is
   /// smaller than k). `stats`, when non-null, accumulates search cost.
-  virtual std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
-                                       SearchStats* stats = nullptr) const = 0;
+  /// [[nodiscard]]: a search run purely to fill `stats` says so with
+  /// qcluster::DiscardResult (see common/status.h).
+  [[nodiscard]] virtual std::vector<Neighbor> Search(
+      const DistanceFunction& dist, int k,
+      SearchStats* stats = nullptr) const = 0;
 };
 
 }  // namespace qcluster::index

@@ -32,8 +32,9 @@ class LinearScanIndex final : public KnnIndex {
   explicit LinearScanIndex(linalg::FlatView view, ThreadPool* pool = nullptr);
 
   int size() const override { return static_cast<int>(view_.n); }
-  std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
-                               SearchStats* stats = nullptr) const override;
+  [[nodiscard]] std::vector<Neighbor> Search(
+      const DistanceFunction& dist, int k,
+      SearchStats* stats = nullptr) const override;
 
  private:
   linalg::FlatBlock owned_;  ///< Packed copy when built from vectors.

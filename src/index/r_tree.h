@@ -38,8 +38,9 @@ class RTree final : public KnnIndex {
   /// Number of points currently indexed (not the backing-store size).
   int size() const override { return count_; }
 
-  std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
-                               SearchStats* stats = nullptr) const override;
+  [[nodiscard]] std::vector<Neighbor> Search(
+      const DistanceFunction& dist, int k,
+      SearchStats* stats = nullptr) const override;
 
   /// Validates the tree invariants (bounding containment, entry counts);
   /// for tests.

@@ -40,8 +40,9 @@ class VaFile final : public KnnIndex {
 
   int size() const override { return static_cast<int>(points_->size()); }
 
-  std::vector<Neighbor> Search(const DistanceFunction& dist, int k,
-                               SearchStats* stats = nullptr) const override;
+  [[nodiscard]] std::vector<Neighbor> Search(
+      const DistanceFunction& dist, int k,
+      SearchStats* stats = nullptr) const override;
 
   /// Bytes used by the approximation array (for compression reporting).
   std::size_t approximation_bytes() const { return cells_.size(); }

@@ -15,7 +15,7 @@ class Pca {
  public:
   /// Fits a PCA model on `rows` sample vectors (each of equal dimension).
   /// Requires at least one sample. Fails only if the eigensolver diverges.
-  static Result<Pca> Fit(const std::vector<Vector>& rows);
+  [[nodiscard]] static Result<Pca> Fit(const std::vector<Vector>& rows);
 
   /// Input dimensionality p.
   int input_dim() const { return static_cast<int>(mean_.size()); }
@@ -80,13 +80,14 @@ class Projector {
   /// the covariance scheme the paper adopts). `sample` supplies rows for
   /// the principal-basis fit (a deterministic subsample is used when large);
   /// `k` is the output dimensionality, clamped to [1, dim].
-  static Projector FitDiagonal(const Vector& diagonal_a, const FlatView& sample,
-                               int k);
+  [[nodiscard]] static Projector FitDiagonal(const Vector& diagonal_a,
+                                             const FlatView& sample, int k);
 
   /// Projector for a full symmetric PSD metric `a`. Falls back to the
   /// spectral-floor whitener sqrt(λ_lower)·I (Gershgorin bound) when the
   /// eigendecomposition of `a` diverges — looser but still contractive.
-  static Projector Fit(const Matrix& a, const FlatView& sample, int k);
+  [[nodiscard]] static Projector Fit(const Matrix& a, const FlatView& sample,
+                                     int k);
 
   /// True when the factory certified the contractive bound for the metric
   /// it was given. Diagonal metrics always certify (entries are checked
@@ -97,7 +98,7 @@ class Projector {
   /// <= 0 for distinct points, in which case no non-negative reduced
   /// distance is a valid lower bound and callers must not prune with this
   /// projector (Project then yields all-zero coordinates).
-  bool contractive() const { return contractive_; }
+  [[nodiscard]] bool contractive() const { return contractive_; }
 
   int input_dim() const { return p_.cols(); }
   int output_dim() const { return p_.rows(); }
@@ -115,8 +116,8 @@ class Projector {
 
   /// Shared tail of the factories: fits the principal basis of the
   /// whitened sample and composes it with the whitener.
-  static Projector Compose(const Matrix& whitener, const FlatView& sample,
-                           int k);
+  [[nodiscard]] static Projector Compose(const Matrix& whitener,
+                                         const FlatView& sample, int k);
 
   Matrix p_;  ///< k × dim row-major map G_k' A^{1/2}.
   bool contractive_ = true;

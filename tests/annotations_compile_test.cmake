@@ -1,0 +1,92 @@
+# Negative-compilation harness for the static contracts of this repo
+# (run as a ctest via `cmake -P`; wired up in tests/CMakeLists.txt).
+#
+# Each probe under tests/compile_probes/ is compiled with -fsyntax-only and
+# the same warning flags the real build uses. The harness then asserts the
+# *expected* outcome:
+#
+#   guarded_by_violation.cc       must FAIL  (Clang only — GCC has no
+#                                             thread-safety analysis, so the
+#                                             probe is skipped there)
+#   guarded_by_ok.cc              must PASS  (positive control: the same
+#                                             access done correctly)
+#   nodiscard_status_violation.cc must FAIL  (any compiler: Status is
+#                                             [[nodiscard]] + -Werror=unused-result)
+#   nodiscard_status_ok.cc        must PASS  (positive control: checked /
+#                                             explicitly discarded)
+#
+# A probe that fails to fail means the enforcement flag regressed — the
+# whole point of this test. Full compiler output is written to PROBE_LOG
+# (uploaded as a CI artifact by the thread-safety job).
+#
+# Required -D variables: PROBE_CXX, PROBE_CXX_ID, PROBE_INCLUDE_DIR,
+# PROBE_DIR, PROBE_LOG.
+
+foreach(var PROBE_CXX PROBE_CXX_ID PROBE_INCLUDE_DIR PROBE_DIR PROBE_LOG)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "annotations_compile_test: missing -D${var}")
+  endif()
+endforeach()
+
+set(base_flags -std=c++17 -fsyntax-only "-I${PROBE_INCLUDE_DIR}"
+    -Wall -Wextra -Werror=unused-result)
+if(PROBE_CXX_ID MATCHES "Clang")
+  list(APPEND base_flags -Wthread-safety -Wthread-safety-beta
+       -Werror=thread-safety -Werror=thread-safety-beta)
+endif()
+
+file(WRITE "${PROBE_LOG}"
+    "annotations_compile_test — compiler: ${PROBE_CXX} (${PROBE_CXX_ID})\n"
+    "flags: ${base_flags}\n\n")
+
+set(failures 0)
+
+# run_probe(<source> <expect>): compile PROBE_DIR/<source>; <expect> is
+# PASS, FAIL, or SKIP. Appends the verdict and compiler output to the log.
+function(run_probe source expect)
+  if(expect STREQUAL "SKIP")
+    file(APPEND "${PROBE_LOG}"
+        "[SKIP] ${source} (no thread-safety analysis on ${PROBE_CXX_ID})\n")
+    message(STATUS "[SKIP] ${source}")
+    return()
+  endif()
+  execute_process(
+    COMMAND "${PROBE_CXX}" ${base_flags} "${PROBE_DIR}/${source}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    set(got "PASS")
+  else()
+    set(got "FAIL")
+  endif()
+  if(got STREQUAL expect)
+    set(verdict "OK")
+  else()
+    set(verdict "UNEXPECTED")
+    math(EXPR failures "${failures}+1")
+    set(failures ${failures} PARENT_SCOPE)
+  endif()
+  file(APPEND "${PROBE_LOG}"
+      "[${verdict}] ${source}: expected ${expect}, compiler said ${got} (rc=${rc})\n"
+      "${out}${err}\n")
+  message(STATUS "[${verdict}] ${source}: expected ${expect}, got ${got}")
+endfunction()
+
+if(PROBE_CXX_ID MATCHES "Clang")
+  set(guarded_expect "FAIL")
+else()
+  set(guarded_expect "SKIP")
+endif()
+
+run_probe(guarded_by_violation.cc "${guarded_expect}")
+run_probe(guarded_by_ok.cc "PASS")
+run_probe(nodiscard_status_violation.cc "FAIL")
+run_probe(nodiscard_status_ok.cc "PASS")
+
+if(failures GREATER 0)
+  message(FATAL_ERROR
+      "annotations_compile_test: ${failures} probe(s) with unexpected "
+      "outcome — see ${PROBE_LOG}")
+endif()
+message(STATUS "annotations_compile_test: all probes behaved as expected")

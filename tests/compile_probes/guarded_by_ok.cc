@@ -1,0 +1,29 @@
+// POSITIVE CONTROL — must compile everywhere. The same guarded access as
+// guarded_by_violation.cc, done correctly: the mutex is held (MutexLock)
+// for every touch of the GUARDED_BY field, and a REQUIRES helper shows the
+// annotation vocabulary the analysis checks at call sites.
+// Driven by tests/annotations_compile_test.cmake; never built into a target.
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+struct Guarded {
+  qcluster::Mutex mu;
+  int value QCLUSTER_GUARDED_BY(mu) = 0;
+};
+
+void BumpLocked(Guarded& g) QCLUSTER_REQUIRES(g.mu) { ++g.value; }
+
+int GuardedAccess() {
+  Guarded g;
+  qcluster::MutexLock lock(g.mu);
+  g.value = 7;
+  BumpLocked(g);
+  return g.value;
+}
+
+}  // namespace
+
+int main() { return GuardedAccess(); }

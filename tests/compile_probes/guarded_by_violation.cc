@@ -1,0 +1,25 @@
+// NEGATIVE PROBE — must NOT compile under Clang (-Werror=thread-safety).
+// Reads and writes a QCLUSTER_GUARDED_BY field without holding its mutex;
+// the thread-safety analysis must reject both accesses. If this file ever
+// compiles under Clang, the -Wthread-safety enforcement has regressed.
+// Driven by tests/annotations_compile_test.cmake; never built into a target.
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+struct Guarded {
+  qcluster::Mutex mu;
+  int value QCLUSTER_GUARDED_BY(mu) = 0;
+};
+
+int UnguardedAccess() {
+  Guarded g;
+  g.value = 7;     // error: writing without holding g.mu
+  return g.value;  // error: reading without holding g.mu
+}
+
+}  // namespace
+
+int main() { return UnguardedAccess(); }

@@ -1,0 +1,30 @@
+// POSITIVE CONTROL — must compile everywhere. The same calls as
+// nodiscard_status_violation.cc with every result handled the sanctioned
+// ways: checked with ok(), or explicitly discarded through the greppable
+// IgnoreError/DiscardResult helpers (common/status.h house rules).
+// Driven by tests/annotations_compile_test.cmake; never built into a target.
+
+#include "common/status.h"
+
+namespace {
+
+qcluster::Status MightFail() {
+  return qcluster::Status::InvalidArgument("probe");
+}
+
+qcluster::Result<int> MightFailWithValue() { return 42; }
+
+int HandleBoth() {
+  int sum = 0;
+  if (!MightFail().ok()) sum += 1;
+  const qcluster::Result<int> r = MightFailWithValue();
+  if (r.ok()) sum += r.value();
+  // Probe exercises the explicit-discard path; outcome is irrelevant here.
+  qcluster::IgnoreError(MightFail());
+  qcluster::DiscardResult(MightFailWithValue());
+  return sum;
+}
+
+}  // namespace
+
+int main() { return HandleBoth(); }

@@ -1,0 +1,27 @@
+// NEGATIVE PROBE — must NOT compile under GCC or Clang
+// (-Werror=unused-result). Drops a Status and a Result<T> on the floor;
+// both types are class-level [[nodiscard]], so each bare call is an error.
+// If this file ever compiles, the error-contract enforcement has regressed.
+// Driven by tests/annotations_compile_test.cmake; never built into a target.
+
+#include "common/status.h"
+
+namespace {
+
+qcluster::Status MightFail() {
+  return qcluster::Status::InvalidArgument("probe");
+}
+
+qcluster::Result<int> MightFailWithValue() { return 42; }
+
+void DropBoth() {
+  MightFail();           // error: ignoring [[nodiscard]] Status
+  MightFailWithValue();  // error: ignoring [[nodiscard]] Result<int>
+}
+
+}  // namespace
+
+int main() {
+  DropBoth();
+  return 0;
+}

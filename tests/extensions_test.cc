@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/disjunctive_distance.h"
 #include "core/merging.h"
 #include "index/br_tree.h"
@@ -31,7 +32,8 @@ TEST(QueryCacheTest, WarmSearchSkipsCachedLeafReads) {
   index::BrTree::QueryCache cache;
   const index::EuclideanDistance q1(pts[0]);
   index::SearchStats cold;
-  tree.SearchCached(q1, 50, cache, &cold);
+  // Cold run executed to populate the cache and cost counters only.
+  DiscardResult(tree.SearchCached(q1, 50, cache, &cold));
   EXPECT_GT(cold.leaves_visited, 0);
   EXPECT_GT(cache.cached_leaf_count(), 0);
 
@@ -50,7 +52,8 @@ TEST(QueryCacheTest, RefinedQueryStaysExactWithFewReads) {
   index::BrTree::QueryCache cache;
   const index::EuclideanDistance q1(pts[0]);
   index::SearchStats cold;
-  tree.SearchCached(q1, 50, cache, &cold);
+  // Cold run executed to populate the cache and cost counters only.
+  DiscardResult(tree.SearchCached(q1, 50, cache, &cold));
 
   Vector moved = pts[0];
   moved[0] += 0.1;  // A slightly refined query.
@@ -70,7 +73,9 @@ TEST(QueryCacheTest, CacheAccumulatesAcrossIterations) {
   for (int it = 0; it < 4; ++it) {
     Vector q = pts[0];
     q[0] += 0.05 * it;
-    tree.SearchCached(index::EuclideanDistance(q), 30, cache);
+    // Each round is run to accumulate cached leaves; only the cache growth
+    // is under test.
+    DiscardResult(tree.SearchCached(index::EuclideanDistance(q), 30, cache));
     EXPECT_GE(cache.cached_leaf_count(), previous);
     previous = cache.cached_leaf_count();
   }

@@ -192,7 +192,8 @@ TEST_F(AuditEnabledTest, WiredNonPsdCovarianceIsCounted) {
   Matrix bad(2, 2, 0.0);
   bad(0, 0) = 1.0;
   bad(1, 1) = -1.0;  // Seeded non-PSD covariance entering classification.
-  (void)stats::InvertCovariance(bad, stats::CovarianceScheme::kInverse);
+  // Called for its audit side effect; the inverse itself is irrelevant.
+  DiscardResult(stats::InvertCovariance(bad, stats::CovarianceScheme::kInverse));
   EXPECT_GT(Violations(), before);
 }
 
@@ -202,7 +203,8 @@ TEST_F(AuditEnabledTest, WiredPsdCovarianceIsClean) {
   good(0, 0) = 2.0;
   good(1, 1) = 3.0;
   good(0, 1) = good(1, 0) = 1.0;
-  (void)stats::InvertCovariance(good, stats::CovarianceScheme::kInverse);
+  // Called for its audit side effect; the inverse itself is irrelevant.
+  DiscardResult(stats::InvertCovariance(good, stats::CovarianceScheme::kInverse));
   EXPECT_EQ(Violations(), before);
 }
 

@@ -4,11 +4,14 @@
 
 #include <atomic>
 #include <cstddef>
+#include <deque>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 
 namespace qcluster {
 namespace {
@@ -142,6 +145,106 @@ TEST(ThreadPoolStressTest, HistogramExtremaUnderContention) {
 
   MetricsRegistry::Global().Reset();
   SetMetricsEnabled(was_enabled);
+}
+
+/// Stress for the annotated mutex facade itself (common/mutex.h), run on
+/// pool workers so the TSan job interleaves it with real scheduling: a
+/// bounded producer/consumer queue built exactly the way the thread pool
+/// uses Mutex + CondVar (explicit wait loops, GUARDED_BY state). Every
+/// element must arrive exactly once, and TSan must see no race on the
+/// guarded fields.
+TEST(ThreadPoolStressTest, MutexCondVarBoundedQueueUnderContention) {
+  constexpr std::size_t kCapacity = 8;  // Queue bound (forces not_full waits).
+  struct BoundedQueue {
+    Mutex mu;
+    CondVar not_empty;
+    CondVar not_full;
+    std::deque<int> items QCLUSTER_GUARDED_BY(mu);
+    bool closed QCLUSTER_GUARDED_BY(mu) = false;
+  } q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 3000;
+
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  constexpr int kConsumers = 3;
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        int item = 0;
+        {
+          MutexLock lock(q.mu);
+          while (q.items.empty() && !q.closed) q.not_empty.Wait(q.mu);
+          if (q.items.empty()) return;  // Closed and drained.
+          item = q.items.front();
+          q.items.pop_front();
+        }
+        q.not_full.NotifyOne();
+        consumed_sum.fetch_add(item, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        {
+          MutexLock lock(q.mu);
+          while (q.items.size() >= kCapacity) {
+            q.not_full.Wait(q.mu);
+          }
+          q.items.push_back(p * kPerProducer + i);
+        }
+        q.not_empty.NotifyOne();
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  {
+    MutexLock lock(q.mu);
+    q.closed = true;
+  }
+  q.not_empty.NotifyAll();
+  for (std::thread& t : consumers) t.join();
+
+  constexpr long long kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), kTotal);
+  EXPECT_EQ(consumed_sum.load(), kTotal * (kTotal - 1) / 2);
+}
+
+/// TryLock under contention: winners mutate the guarded counter, losers
+/// only count their failure. The counter must equal the number of wins —
+/// TryLock must never "succeed" without excluding the other threads.
+TEST(ThreadPoolStressTest, TryLockNeverDoubleAdmits) {
+  struct Guarded {
+    Mutex mu;
+    long long value QCLUSTER_GUARDED_BY(mu) = 0;
+  } state;
+  std::atomic<long long> wins{0};
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        if (state.mu.TryLock()) {
+          ++state.value;
+          state.mu.Unlock();
+          wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MutexLock lock(state.mu);
+  EXPECT_EQ(state.value, wins.load());
+  EXPECT_GT(state.value, 0);
 }
 
 /// Concurrent ParallelFor against the global pool with the audit/metrics
