@@ -12,6 +12,10 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/status.h"
+// Including trace.h anchors its environment hook in every bench binary, so
+// QCLUSTER_TRACE=PATH / QCLUSTER_SLOW_MS=N work on all of them (run_all.sh
+// uses this to drop TRACE_<binary>.json next to the BENCH_*.json exports).
+#include "common/trace.h"  // IWYU pragma: keep
 
 namespace qcluster::bench {
 namespace {

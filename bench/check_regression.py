@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_*.json metric exports against committed baselines.
+
+Turns the bench dumps into a standing performance gate: for every throughput
+metric (name containing ``points_per_sec``) present in both a baseline file
+under ``bench/baselines/`` and the matching fresh export, the fresh value
+must not fall below ``baseline * (1 - tolerance)``. Exits non-zero on any
+regression so CI fails the bench job.
+
+The default tolerance is deliberately wide (50%): CI runners and developer
+machines differ by far more than any single optimization, so the gate only
+catches order-of-magnitude cliffs (an accidentally quadratic loop, a lost
+parallel path), not single-digit noise. Tighten with --tolerance for
+like-for-like machines.
+
+Usage:
+  bench/check_regression.py --fresh build-release/bench          # gate
+  bench/check_regression.py --fresh build-release/bench --update # re-baseline
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+THROUGHPUT_MARKER = "points_per_sec"
+
+
+def load_metrics(path):
+    """Returns {metric_name: value} of the throughput metrics in one dump.
+
+    Histogram throughputs compare by p50 (the stable center of per-batch
+    samples); gauge throughputs by their last value.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for name, value in doc.get("gauges", {}).items():
+        if THROUGHPUT_MARKER in name:
+            out[name] = float(value)
+    for name, snap in doc.get("histograms", {}).items():
+        if THROUGHPUT_MARKER in name and snap.get("count", 0) > 0:
+            out[name] = float(snap["p50"])
+    return out
+
+
+def compare(baseline_path, fresh_path, tolerance):
+    """Returns (regressions, report_lines) for one BENCH file pair."""
+    baseline = load_metrics(baseline_path)
+    fresh = load_metrics(fresh_path)
+    regressions = []
+    lines = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        if base <= 0.0:
+            continue
+        if name not in fresh:
+            regressions.append(name)
+            lines.append(f"  MISSING  {name}: in baseline but not in fresh run")
+            continue
+        ratio = fresh[name] / base
+        floor = 1.0 - tolerance
+        verdict = "ok" if ratio >= floor else "REGRESSED"
+        lines.append(
+            f"  {verdict:9s}{name}: baseline {base:.3g} -> fresh "
+            f"{fresh[name]:.3g} (x{ratio:.2f}, floor x{floor:.2f})"
+        )
+        if ratio < floor:
+            regressions.append(name)
+    for name in sorted(set(fresh) - set(baseline)):
+        lines.append(f"  new      {name}: {fresh[name]:.3g} (no baseline yet)")
+    return regressions, lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(pathlib.Path(__file__).parent / "baselines"),
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh",
+        required=True,
+        help="directory containing freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional throughput drop before failing (default 0.5)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy fresh files over the baselines instead of checking",
+    )
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baseline)
+    fresh_dir = pathlib.Path(args.fresh)
+    if not fresh_dir.is_dir():
+        print(f"error: fresh dir {fresh_dir} does not exist", file=sys.stderr)
+        return 2
+    fresh_files = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"error: no BENCH_*.json in {fresh_dir}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        for fresh in fresh_files:
+            if load_metrics(fresh):  # Only baseline files that gate something.
+                shutil.copy(fresh, baseline_dir / fresh.name)
+                print(f"baselined {fresh.name}")
+        return 0
+
+    total_regressions = []
+    checked = 0
+    for fresh in fresh_files:
+        baseline = baseline_dir / fresh.name
+        if not baseline.is_file():
+            continue  # No baseline committed for this binary: nothing gates.
+        regressions, lines = compare(baseline, fresh, args.tolerance)
+        if lines:
+            checked += 1
+            print(f"{fresh.name}:")
+            print("\n".join(lines))
+        total_regressions.extend(f"{fresh.name}:{name}" for name in regressions)
+
+    if checked == 0:
+        print(
+            f"warning: no fresh file matched a baseline in {baseline_dir}; "
+            "nothing checked",
+            file=sys.stderr,
+        )
+        return 0
+    if total_regressions:
+        print(
+            f"\nFAIL: {len(total_regressions)} throughput regression(s):",
+            file=sys.stderr,
+        )
+        for name in total_regressions:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {checked} file(s) checked, no throughput regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

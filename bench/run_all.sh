@@ -8,7 +8,8 @@
 # <build-dir>/bench/ (each binary writes BENCH_<name>.json into its working
 # directory at exit). Pass e.g. `-- --benchmark_min_time=0.05` for a quick
 # smoke sweep; without flags each binary uses the benchmark library's own
-# timing heuristics.
+# timing heuristics. Set QCLUSTER_BENCH_TRACE=1 to also drop a Chrome
+# trace_event artifact TRACE_<binary>.json per binary.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -33,7 +34,13 @@ ran=0
 for bin in "${binaries[@]}"; do
   [[ -x "${bin}" && -f "${bin}" ]] || continue
   echo "==> ${bin}"
-  "./${bin}" "${extra_flags[@]}"
+  if [[ "${QCLUSTER_BENCH_TRACE:-0}" != "0" ]]; then
+    # Drop a Chrome trace_event artifact next to each BENCH_*.json (load in
+    # chrome://tracing or https://ui.perfetto.dev).
+    QCLUSTER_TRACE="TRACE_${bin}.json" "./${bin}" "${extra_flags[@]}"
+  else
+    "./${bin}" "${extra_flags[@]}"
+  fi
   ran=$((ran + 1))
 done
 

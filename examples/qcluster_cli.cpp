@@ -30,6 +30,12 @@
 //   --metrics                 collect per-phase metrics, dump JSON to stderr
 //                             at exit
 //   --metrics=PATH            same, but dump to PATH
+//   --trace                   collect per-query trace spans, dump Chrome
+//                             trace_event JSON to stderr at exit
+//   --trace=PATH              same, but dump to PATH (load in
+//                             chrome://tracing or https://ui.perfetto.dev)
+//   --slow-ms=N               enable tracing and dump the span tree of any
+//                             feedback round slower than N ms to stderr
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +50,7 @@
 #include "baselines/qex.h"
 #include "baselines/qpm.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/engine.h"
 #include "dataset/feature_database.h"
 #include "dataset/feature_io.h"
@@ -370,6 +377,24 @@ bool Execute(CliState& state, const std::string& line) {
 /// Where the --metrics dump goes at exit; empty while disabled.
 std::string g_metrics_target;
 
+/// Where the --trace dump goes at exit; empty while disabled.
+std::string g_trace_target;
+
+void DumpCliTrace() {
+  if (g_trace_target.empty()) return;
+  qcluster::trace::TraceRecorder& recorder =
+      qcluster::trace::TraceRecorder::Global();
+  if (g_trace_target == "stderr") {
+    std::fprintf(stderr, "%s\n", recorder.ToChromeTraceJson().c_str());
+    return;
+  }
+  const qcluster::Status status = recorder.DumpChromeTrace(g_trace_target);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace dump failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
 void DumpCliMetrics() {
   if (g_metrics_target.empty()) return;
   if (g_metrics_target == "stderr") {
@@ -395,6 +420,17 @@ int main(int argc, char** argv) {
       g_metrics_target = "stderr";
     } else if (arg.rfind("--metrics=", 0) == 0) {
       g_metrics_target = arg.substr(std::string("--metrics=").size());
+    } else if (arg == "--trace") {
+      g_trace_target = "stderr";
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      g_trace_target = arg.substr(std::string("--trace=").size());
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      const double ms =
+          std::atof(arg.substr(std::string("--slow-ms=").size()).c_str());
+      if (ms > 0.0) {
+        qcluster::trace::SetSlowRoundThresholdMs(ms);
+        qcluster::trace::SetTracingEnabled(true);
+      }
     } else {
       args.push_back(arg);
     }
@@ -402,6 +438,10 @@ int main(int argc, char** argv) {
   if (!g_metrics_target.empty()) {
     qcluster::SetMetricsEnabled(true);
     std::atexit(DumpCliMetrics);
+  }
+  if (!g_trace_target.empty()) {
+    qcluster::trace::SetTracingEnabled(true);
+    std::atexit(DumpCliTrace);
   }
   if (!args.empty()) {
     // Arguments joined, ';'-separated commands.

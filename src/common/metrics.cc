@@ -106,13 +106,21 @@ double Histogram::Percentile(double q, long long count, double min,
       1, static_cast<long long>(std::ceil(q * static_cast<double>(count))));
   long long cumulative = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    cumulative += buckets_[i].load(std::memory_order_relaxed);
-    if (cumulative >= target) {
-      // Geometric midpoint of the bucket, clamped to the observed range.
+    const long long in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket >= target) {
+      // Interpolate the target rank's position within the bucket in log
+      // space (the buckets are geometric, so log space is where mass is
+      // uniform under the bucketing's own resolution), clamped to the
+      // observed range so single-sample and edge buckets stay exact.
       const double hi = BucketUpperEdge(i);
       const double lo = i == 0 ? kMinValue : BucketUpperEdge(i - 1);
-      return std::clamp(std::sqrt(lo * hi), min, max);
+      const double frac = in_bucket <= 0
+                              ? 1.0
+                              : (static_cast<double>(target - cumulative)) /
+                                    static_cast<double>(in_bucket);
+      return std::clamp(lo * std::pow(hi / lo, frac), min, max);
     }
+    cumulative += in_bucket;
   }
   return max;
 }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace qcluster {
 
@@ -83,21 +84,30 @@ void ThreadPool::ParallelFor(
     done.remaining = shards - 1;
   }
 
+  // Workers record their shard spans against the submitting thread's trace
+  // context, parented to the span active here at submission time.
+  const trace::PropagatedContext trace_ctx = trace::CaptureContext();
   {
     MutexLock lock(mu_);
     QCLUSTER_CHECK_MSG(!stop_, "ParallelFor on a destroyed pool");
     for (int s = 1; s < shards; ++s) {
       const std::size_t begin = static_cast<std::size_t>(s) * chunk;
       const std::size_t end = std::min(n, begin + chunk);
-      queue_.push_back([&fn, &done, s, begin, end] {
-        if (begin < end) fn(s, begin, end);
+      queue_.push_back([&fn, &done, trace_ctx, s, begin, end] {
+        {
+          trace::ScopedWorkerSpan shard_span(trace_ctx, s);
+          if (begin < end) fn(s, begin, end);
+        }
         MutexLock done_lock(done.mu);
         if (--done.remaining == 0) done.cv.NotifyOne();
       });
     }
   }
   cv_.NotifyAll();
-  fn(0, 0, std::min(n, chunk));
+  {
+    trace::ScopedWorkerSpan shard_span(trace_ctx, 0);
+    fn(0, 0, std::min(n, chunk));
+  }
   MutexLock lock(done.mu);
   while (done.remaining != 0) done.cv.Wait(done.mu);
 }

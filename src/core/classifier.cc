@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "linalg/decomposition.h"
 #include "stats/distributions.h"
 #include "stats/weighted_stats.h"
@@ -111,6 +112,9 @@ std::vector<ClassificationDecision> ClassifyBatch(
     std::vector<Cluster>& clusters, const std::vector<Vector>& points,
     const std::vector<double>& scores, const ClassifierOptions& options) {
   QCLUSTER_CHECK(points.size() == scores.size());
+  QCLUSTER_TRACE_SPAN(span, "classifier.batch");
+  span.AddAttr("points", points.size());
+  span.AddAttr("clusters_in", clusters.size());
   QCLUSTER_TIMED("classifier.batch");
   MetricAdd("classifier.points", static_cast<long long>(points.size()));
   std::vector<ClassificationDecision> decisions;

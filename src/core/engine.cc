@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace qcluster::core {
 
@@ -26,17 +27,33 @@ QclusterEngine::QclusterEngine(const std::vector<Vector>* database,
   }
 }
 
+std::uint64_t QclusterEngine::EnsureTraceId() {
+  // A surrounding session context wins; the lazy engine-owned id only
+  // exists for callers driving the engine directly.
+  if (trace::CurrentContext().trace_id != 0) return 0;
+  if (trace_id_ == 0 && trace::TracingEnabled()) {
+    trace_id_ = trace::NewTraceId();
+  }
+  return trace_id_;
+}
+
 std::vector<index::Neighbor> QclusterEngine::InitialQuery(
     const Vector& query) {
+  Reset();
+  QCLUSTER_TRACE_ROUND(trace_round, EnsureTraceId(), 0);
+  QCLUSTER_TRACE_SPAN(round_span, "engine.initial_query");
+  round_span.AddAttr("k", options_.k);
   QCLUSTER_TIMED("engine.initial_query");
   MetricAdd("engine.initial_queries");
-  Reset();
   const index::EuclideanDistance dist(query);
   return RunQuery(dist);
 }
 
 std::vector<index::Neighbor> QclusterEngine::Feedback(
     const std::vector<RelevantItem>& marked) {
+  QCLUSTER_TRACE_ROUND(trace_round, EnsureTraceId(), iteration_ + 1);
+  QCLUSTER_TRACE_SPAN(round_span, "feedback.total");
+  round_span.AddAttr("marked", marked.size());
   QCLUSTER_TIMED("feedback.total");
   // Collect the genuinely new relevant points.
   std::vector<Vector> points;
@@ -55,6 +72,8 @@ std::vector<index::Neighbor> QclusterEngine::Feedback(
             static_cast<long long>(points.size()));
 
   {
+    QCLUSTER_TRACE_SPAN(span, "feedback.classify");
+    span.AddAttr("new_points", points.size());
     QCLUSTER_TIMED("feedback.classify");
     if (clusters_.empty()) {
       // First round: hierarchical clustering of the relevant set
@@ -77,6 +96,8 @@ std::vector<index::Neighbor> QclusterEngine::Feedback(
 
   {
     // Cluster merging (Algorithm 3).
+    QCLUSTER_TRACE_SPAN(span, "feedback.merge");
+    span.AddAttr("clusters_before", clusters_.size());
     QCLUSTER_TIMED("feedback.merge");
     MergeOptions m;
     m.alpha = options_.alpha;
@@ -84,17 +105,22 @@ std::vector<index::Neighbor> QclusterEngine::Feedback(
     m.scheme = options_.scheme;
     m.min_variance = floor_;
     MergeClusters(clusters_, m);
+    span.AddAttr("clusters_after", clusters_.size());
   }
   UpdateVarianceFloor();
 
   ++iteration_;
   MetricAdd("engine.feedback.rounds");
   MetricGauge("engine.clusters", static_cast<double>(clusters_.size()));
+  QCLUSTER_TRACE_SPAN(span, "feedback.knn_query");
+  span.AddAttr("k", options_.k);
+  span.AddAttr("clusters", clusters_.size());
   QCLUSTER_TIMED("feedback.knn_query");
   return RunQuery(CurrentDistance());
 }
 
 void QclusterEngine::UpdateVarianceFloor() {
+  QCLUSTER_TRACE_SPAN(span, "feedback.variance_floor");
   QCLUSTER_TIMED("feedback.variance_floor");
   floor_ = options_.min_variance;
   if (options_.adaptive_floor_fraction <= 0.0 || clusters_.empty()) return;
@@ -127,6 +153,7 @@ void QclusterEngine::Reset() {
   last_stats_ = index::SearchStats{};
   iteration_ = 0;
   floor_ = 0.0;
+  trace_id_ = 0;  // The next query sequence records under a fresh trace.
 }
 
 std::vector<index::Neighbor> QclusterEngine::RunQuery(

@@ -1,6 +1,7 @@
 #ifndef QCLUSTER_CORE_ENGINE_H_
 #define QCLUSTER_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -120,6 +121,9 @@ class QclusterEngine final : public RetrievalMethod {
  private:
   std::vector<index::Neighbor> RunQuery(const index::DistanceFunction& dist);
   void UpdateVarianceFloor();
+  /// Trace id for a directly-driven round: 0 when a surrounding context is
+  /// already active, otherwise the engine's lazily allocated own id.
+  std::uint64_t EnsureTraceId();
 
   const std::vector<linalg::Vector>* database_;
   const index::KnnIndex* knn_;
@@ -136,6 +140,9 @@ class QclusterEngine final : public RetrievalMethod {
   index::SearchStats last_stats_;
   int iteration_ = 0;
   double floor_ = 0.0;
+  /// Trace id the engine's rounds record under when no surrounding session
+  /// has established one; allocated lazily, cleared by Reset.
+  std::uint64_t trace_id_ = 0;
 };
 
 }  // namespace qcluster::core

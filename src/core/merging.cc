@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "stats/box_m.h"
 #include "stats/distributions.h"
 #include "stats/hotelling.h"
@@ -89,6 +90,8 @@ MergeReport MergeClusters(std::vector<Cluster>& clusters,
   QCLUSTER_CHECK(options.max_clusters >= 1);
   QCLUSTER_CHECK(0.0 < options.alpha && options.alpha < 1.0);
   QCLUSTER_CHECK(0.0 < options.alpha_relax && options.alpha_relax < 1.0);
+  QCLUSTER_TRACE_SPAN(span, "merge.pass");
+  span.AddAttr("clusters_in", clusters.size());
   QCLUSTER_TIMED("merge.pass");
 
   MergeReport report;

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/trace.h"
 
 namespace qcluster::core {
 
@@ -21,6 +22,9 @@ std::vector<index::Neighbor> RetrievalSession::Start(
   QCLUSTER_TIMED("session.start");
   MetricAdd("session.starts");
   MutexLock lock(mu_);
+  trace_id_ = trace::NewTraceId();
+  QCLUSTER_TRACE_ROUND(trace_round, trace_id_, 0);
+  QCLUSTER_TRACE_SPAN(span, "session.start");
   query_ = query;
   history_.clear();
   initial_result_ = engine_.InitialQuery(query);
@@ -32,6 +36,10 @@ std::vector<index::Neighbor> RetrievalSession::Feedback(
     const std::vector<RelevantItem>& marked) {
   QCLUSTER_TIMED("session.round");
   MutexLock lock(mu_);
+  QCLUSTER_TRACE_ROUND(trace_round, trace_id_,
+                       static_cast<int>(history_.size()) + 1);
+  QCLUSTER_TRACE_SPAN(span, "session.round");
+  span.AddAttr("marked", marked.size());
   return FeedbackLocked(marked);
 }
 

@@ -1,6 +1,7 @@
 #ifndef QCLUSTER_CORE_SESSION_H_
 #define QCLUSTER_CORE_SESSION_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -80,6 +81,8 @@ class RetrievalSession {
 
   mutable Mutex mu_;
   QclusterEngine engine_ QCLUSTER_GUARDED_BY(mu_);
+  /// Trace id all of this session's rounds record under; assigned by Start.
+  std::uint64_t trace_id_ QCLUSTER_GUARDED_BY(mu_) = 0;
   std::optional<linalg::Vector> query_ QCLUSTER_GUARDED_BY(mu_);
   std::vector<index::Neighbor> initial_result_ QCLUSTER_GUARDED_BY(mu_);
   std::vector<index::Neighbor> current_result_ QCLUSTER_GUARDED_BY(mu_);

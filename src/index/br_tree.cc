@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace qcluster::index {
 
@@ -93,6 +94,10 @@ std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
                                          SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   if (root_ < 0) return {};
+  QCLUSTER_TRACE_SPAN(span, "index.br_tree.search");
+  span.AddAttr("index", "br_tree");
+  span.AddAttr("k", k);
+  span.AddAttr("warm", warm_cache != nullptr ? 1 : 0);
   QCLUSTER_TIMED("index.br_tree.search");
   SearchStats local;
 
@@ -185,6 +190,8 @@ std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
     result[i] = best.top();
     best.pop();
   }
+  span.AddAttr("nodes_visited", local.nodes_visited);
+  span.AddAttr("leaves_visited", local.leaves_visited);
   if (warm_cache != nullptr) MetricAdd("index.br_tree.warm_searches");
   FinishSearch("index.br_tree", local, stats);
   return result;

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/trace.h"
 #include "core/invariants.h"
 
 namespace qcluster::index {
@@ -90,6 +91,9 @@ FilterRefineIndex::EnsureProjection(const QuadraticDecomposition& decomp,
   // the reduced block. Queries alone never trigger a rebuild — the
   // projector depends only on Aᵢ, so repeated queries under one metric
   // amortize this cost.
+  QCLUSTER_TRACE_SPAN(span, "index.filter_refine.rebuild");
+  span.AddAttr("components", decomp.components.size());
+  span.AddAttr("reduced", reduced);
   QCLUSTER_TIMED("index.filter_refine.rebuild");
   auto built = std::make_shared<Projection>();
   built->reduced = reduced;
@@ -152,6 +156,9 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
   }
   QCLUSTER_CHECK(decomp.harmonic || decomp.components.size() == 1);
 
+  QCLUSTER_TRACE_SPAN(span, "index.filter_refine.search");
+  span.AddAttr("index", "filter_refine");
+  span.AddAttr("k", k);
   QCLUSTER_TIMED("index.filter_refine.search");
   const bool metrics = MetricsEnabled();
   const auto start = metrics ? std::chrono::steady_clock::now()
@@ -164,6 +171,8 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
   }
   QCLUSTER_CHECK(dist.dim() == view_.dim);
   const int reduced = reduced_dims(view_.dim);
+  span.AddAttr("reduced", reduced);
+  span.AddAttr("components", decomp.components.size());
   const std::shared_ptr<const Projection> proj =
       EnsureProjection(decomp, reduced);
   if (!proj->usable) {
@@ -185,58 +194,63 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
   // block, sharded exactly like the exhaustive scan.
   const linalg::FlatView reduced_view = proj->block.view();
   std::vector<double> lbs(n);
-  if (!decomp.harmonic) {
-    // One quadratic form: the whole reduced row is the component segment,
-    // so the existing batched Euclidean kernel scans it directly.
-    const EuclideanDistance filter(zq[0]);
-    tp.ParallelFor(n, kMinShardPoints,
-                   [&](int, std::size_t begin, std::size_t end) {
-                     filter.DistanceBatch(reduced_view.Slice(begin, end),
-                                          lbs.data() + begin);
-                   });
-  } else {
-    // Eq. 5 aggregate: per-cluster reduced distances combined with the same
-    // α = −2 rule. The aggregate is monotone in each d²ᵢ, so feeding it
-    // per-cluster lower bounds yields a lower bound on the whole metric.
-    tp.ParallelFor(
-        n, kMinShardPoints, [&](int, std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            const double* row = reduced_view.row(i);
-            double denom = 0.0;
-            bool zero = false;
-            for (std::size_t j = 0; j < comps; ++j) {
-              const double* seg =
-                  row + j * static_cast<std::size_t>(reduced);
-              const linalg::Vector& q = zq[j];
-              double d2 = 0.0;
-              for (std::size_t t = 0; t < q.size(); ++t) {
-                const double d = q[t] - seg[t];
-                d2 += d * d;
+  {
+    QCLUSTER_TRACE_SPAN(filter_span, "index.filter_refine.filter");
+    if (!decomp.harmonic) {
+      // One quadratic form: the whole reduced row is the component segment,
+      // so the existing batched Euclidean kernel scans it directly.
+      const EuclideanDistance filter(zq[0]);
+      tp.ParallelFor(n, kMinShardPoints,
+                     [&](int, std::size_t begin, std::size_t end) {
+                       filter.DistanceBatch(reduced_view.Slice(begin, end),
+                                            lbs.data() + begin);
+                     });
+    } else {
+      // Eq. 5 aggregate: per-cluster reduced distances combined with the same
+      // α = −2 rule. The aggregate is monotone in each d²ᵢ, so feeding it
+      // per-cluster lower bounds yields a lower bound on the whole metric.
+      tp.ParallelFor(
+          n, kMinShardPoints, [&](int, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const double* row = reduced_view.row(i);
+              double denom = 0.0;
+              bool zero = false;
+              for (std::size_t j = 0; j < comps; ++j) {
+                const double* seg =
+                    row + j * static_cast<std::size_t>(reduced);
+                const linalg::Vector& q = zq[j];
+                double d2 = 0.0;
+                for (std::size_t t = 0; t < q.size(); ++t) {
+                  const double d = q[t] - seg[t];
+                  d2 += d * d;
+                }
+                if (d2 <= 0.0) {
+                  zero = true;
+                  break;
+                }
+                denom += decomp.components[j].weight / d2;
               }
-              if (d2 <= 0.0) {
-                zero = true;
-                break;
-              }
-              denom += decomp.components[j].weight / d2;
+              lbs[i] = zero ? 0.0
+                       : (denom <= 0.0
+                              ? std::numeric_limits<double>::infinity()
+                              : decomp.total_weight / denom);
             }
-            lbs[i] = zero ? 0.0
-                     : (denom <= 0.0
-                            ? std::numeric_limits<double>::infinity()
-                            : decomp.total_weight / denom);
-          }
-        });
+          });
+    }
   }
 
   // Seed: refine the k best lower-bound candidates exactly. They are real
   // database points, so their worst exact distance θ upper-bounds the true
   // k-th neighbor distance.
-  BoundedTopK seed_top(std::min(k, static_cast<int>(n)));
-  for (std::size_t i = 0; i < n; ++i) {
-    seed_top.Push(Neighbor{static_cast<int>(i), lbs[i]});
-  }
-  const std::vector<Neighbor> seeds = std::move(seed_top).TakeSorted();
+  std::vector<Neighbor> seeds;
   double theta = 0.0;
   {
+    QCLUSTER_TRACE_SPAN(seed_span, "index.filter_refine.seed");
+    BoundedTopK seed_top(std::min(k, static_cast<int>(n)));
+    for (std::size_t i = 0; i < n; ++i) {
+      seed_top.Push(Neighbor{static_cast<int>(i), lbs[i]});
+    }
+    seeds = std::move(seed_top).TakeSorted();
     std::vector<double> gathered(seeds.size() *
                                  static_cast<std::size_t>(view_.dim));
     for (std::size_t s = 0; s < seeds.size(); ++s) {
@@ -283,46 +297,54 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
   // exhaustive scan's. Survivor order and shard boundaries depend only on
   // the scores and (m, threads), so any thread count merges identically.
   const std::size_t m = survivors.size();
+  span.AddAttr("candidates", m);
+  span.AddAttr("refine_ratio",
+               static_cast<double>(m) / static_cast<double>(n));
   const int dim = view_.dim;
   const int shards = tp.ShardCount(m, kMinShardPoints);
-  std::vector<std::vector<Neighbor>> shard_top(
-      static_cast<std::size_t>(shards));
-  tp.ParallelFor(
-      m, kMinShardPoints, [&](int shard, std::size_t begin, std::size_t end) {
-        // Reused across searches: per pool thread, so steady-state
-        // refinement allocates nothing per shard.
-        static thread_local std::vector<double> gathered;
-        static thread_local std::vector<double> exact;
-        BoundedTopK top(k);
-        for (std::size_t c0 = begin; c0 < end; c0 += kGatherRows) {
-          const std::size_t c1 = std::min(end, c0 + kGatherRows);
-          const std::size_t rows = c1 - c0;
-          gathered.resize(rows * static_cast<std::size_t>(dim));
-          for (std::size_t r = 0; r < rows; ++r) {
-            const double* src =
-                view_.row(static_cast<std::size_t>(survivors[c0 + r]));
-            std::copy(src, src + dim,
-                      gathered.begin() + r * static_cast<std::size_t>(dim));
-          }
-          exact.resize(rows);
-          dist.DistanceBatch(linalg::FlatView{gathered.data(), rows, dim},
-                             exact.data());
-          for (std::size_t r = 0; r < rows; ++r) {
-            top.Push(Neighbor{survivors[c0 + r], exact[r]});
-          }
-        }
-        shard_top[static_cast<std::size_t>(shard)] =
-            std::move(top).TakeSorted();
-        QCLUSTER_AUDIT(core::ValidateSortedNeighbors(
-            shard_top[static_cast<std::size_t>(shard)],
-            "filter_refine shard top-k"));
-      });
-
-  std::size_t total = 0;
-  for (const auto& t : shard_top) total += t.size();
   std::vector<Neighbor> merged;
-  merged.reserve(total);
-  for (auto& t : shard_top) merged.insert(merged.end(), t.begin(), t.end());
+  {
+    QCLUSTER_TRACE_SPAN(refine_span, "index.filter_refine.refine");
+    refine_span.AddAttr("candidates", m);
+    refine_span.AddAttr("shards", shards);
+    std::vector<std::vector<Neighbor>> shard_top(
+        static_cast<std::size_t>(shards));
+    tp.ParallelFor(
+        m, kMinShardPoints, [&](int shard, std::size_t begin, std::size_t end) {
+          // Reused across searches: per pool thread, so steady-state
+          // refinement allocates nothing per shard.
+          static thread_local std::vector<double> gathered;
+          static thread_local std::vector<double> exact;
+          BoundedTopK top(k);
+          for (std::size_t c0 = begin; c0 < end; c0 += kGatherRows) {
+            const std::size_t c1 = std::min(end, c0 + kGatherRows);
+            const std::size_t rows = c1 - c0;
+            gathered.resize(rows * static_cast<std::size_t>(dim));
+            for (std::size_t r = 0; r < rows; ++r) {
+              const double* src =
+                  view_.row(static_cast<std::size_t>(survivors[c0 + r]));
+              std::copy(src, src + dim,
+                        gathered.begin() + r * static_cast<std::size_t>(dim));
+            }
+            exact.resize(rows);
+            dist.DistanceBatch(linalg::FlatView{gathered.data(), rows, dim},
+                               exact.data());
+            for (std::size_t r = 0; r < rows; ++r) {
+              top.Push(Neighbor{survivors[c0 + r], exact[r]});
+            }
+          }
+          shard_top[static_cast<std::size_t>(shard)] =
+              std::move(top).TakeSorted();
+          QCLUSTER_AUDIT(core::ValidateSortedNeighbors(
+              shard_top[static_cast<std::size_t>(shard)],
+              "filter_refine shard top-k"));
+        });
+
+    std::size_t total = 0;
+    for (const auto& t : shard_top) total += t.size();
+    merged.reserve(total);
+    for (auto& t : shard_top) merged.insert(merged.end(), t.begin(), t.end());
+  }
 
   SearchStats local;
   local.distance_evaluations = static_cast<long long>(seeds.size() + m);

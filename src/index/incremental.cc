@@ -1,6 +1,7 @@
 #include "index/incremental.h"
 
 #include "common/check.h"
+#include "common/trace.h"
 
 namespace qcluster::index {
 
@@ -57,6 +58,9 @@ std::optional<Neighbor> IncrementalKnn::Next() {
 
 std::vector<Neighbor> IncrementalKnn::NextBatch(int k) {
   QCLUSTER_CHECK(k >= 0);
+  QCLUSTER_TRACE_SPAN(span, "index.incremental.next_batch");
+  span.AddAttr("index", "incremental");
+  span.AddAttr("k", k);
   std::vector<Neighbor> out;
   out.reserve(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/invariants.h"
 
 namespace qcluster::index {
@@ -58,6 +59,10 @@ LinearScanIndex::LinearScanIndex(linalg::FlatView view, ThreadPool* pool)
 std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
                                               int k, SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
+  QCLUSTER_TRACE_SPAN(span, "index.linear_scan.search");
+  span.AddAttr("index", "linear_scan");
+  span.AddAttr("k", k);
+  span.AddAttr("n", view_.n);
   QCLUSTER_TIMED("index.linear_scan.search");
   const bool metrics = MetricsEnabled();
   const auto start = metrics ? std::chrono::steady_clock::now()
@@ -100,6 +105,7 @@ std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
     }
   }
 
+  span.AddAttr("shards", shards);
   SearchStats local;
   local.distance_evaluations = static_cast<long long>(n);
   FinishSearch("index.linear_scan", local, stats);

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace qcluster::index {
 
@@ -330,6 +331,9 @@ std::vector<Neighbor> RTree::Search(const DistanceFunction& dist, int k,
                                     SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   if (root_ < 0) return {};
+  QCLUSTER_TRACE_SPAN(span, "index.r_tree.search");
+  span.AddAttr("index", "r_tree");
+  span.AddAttr("k", k);
   QCLUSTER_TIMED("index.r_tree.search");
   SearchStats local;
 
@@ -392,6 +396,8 @@ std::vector<Neighbor> RTree::Search(const DistanceFunction& dist, int k,
     result[i] = best.top();
     best.pop();
   }
+  span.AddAttr("nodes_visited", local.nodes_visited);
+  span.AddAttr("leaves_visited", local.leaves_visited);
   FinishSearch("index.r_tree", local, stats);
   return result;
 }

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "index/linear_scan.h"
 
 namespace qcluster::index {
@@ -68,6 +69,10 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
                                      SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   if (points_->empty()) return {};
+  QCLUSTER_TRACE_SPAN(span, "index.va_file.search");
+  span.AddAttr("index", "va_file");
+  span.AddAttr("k", k);
+  span.AddAttr("n", points_->size());
   QCLUSTER_TIMED("index.va_file.search");
   const bool metrics = MetricsEnabled();
   const auto start = metrics ? std::chrono::steady_clock::now()
@@ -86,17 +91,21 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
   ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Global();
   const int shards = pool.ShardCount(n, kMinShardPoints);
   std::vector<Candidate> candidates(n);
-  pool.ParallelFor(n, kMinShardPoints,
-                   [&](int /*shard*/, std::size_t begin, std::size_t end) {
-                     Rect rect;
-                     rect.lo.resize(dim);
-                     rect.hi.resize(dim);
-                     for (std::size_t i = begin; i < end; ++i) {
-                       CellRectInto(static_cast<int>(i), &rect);
-                       candidates[i] = {dist.MinDistance(rect),
-                                        static_cast<int>(i)};
-                     }
-                   });
+  {
+    QCLUSTER_TRACE_SPAN(bounds_span, "index.va_file.bounds");
+    bounds_span.AddAttr("shards", shards);
+    pool.ParallelFor(n, kMinShardPoints,
+                     [&](int /*shard*/, std::size_t begin, std::size_t end) {
+                       Rect rect;
+                       rect.lo.resize(dim);
+                       rect.hi.resize(dim);
+                       for (std::size_t i = begin; i < end; ++i) {
+                         CellRectInto(static_cast<int>(i), &rect);
+                         candidates[i] = {dist.MinDistance(rect),
+                                          static_cast<int>(i)};
+                       }
+                     });
+  }
   if (metrics) {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -121,6 +130,7 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
   };
   std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> best(
       cmp);
+  QCLUSTER_TRACE_SPAN(ssa_span, "index.va_file.ssa");
   for (const Candidate& c : candidates) {
     if (static_cast<int>(best.size()) >= k && c.bound > best.top().distance) {
       break;
@@ -142,6 +152,7 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
     result[i] = best.top();
     best.pop();
   }
+  ssa_span.AddAttr("visited", local.distance_evaluations);
   FinishSearch("index.va_file", local, stats);
   return result;
 }

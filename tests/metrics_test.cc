@@ -1,9 +1,11 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -91,6 +93,80 @@ TEST_F(MetricsTest, PercentilesApproximateTheDistribution) {
   EXPECT_LE(snap->p99, snap->max);
 }
 
+TEST_F(MetricsTest, PercentilesInterpolateWithinBuckets) {
+  // All 1000 samples land in one log bucket (edges grow by 2^(1/4), and
+  // [0.90ms, 1.04ms] fits inside the (0.882ms, 1.049ms] bucket). The
+  // log-space interpolation must spread the quantiles across the bucket
+  // instead of answering one fixed midpoint — p50 < p95 < p99 strictly,
+  // each within the observed range.
+  for (int i = 0; i < 1000; ++i) {
+    MetricRecord("test.interp", 0.90e-3 + 0.14e-3 * (i / 999.0));
+  }
+  const auto snap =
+      MetricsRegistry::Global().HistogramSnapshot("test.interp");
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_EQ(Histogram::BucketIndex(snap->min),
+            Histogram::BucketIndex(snap->max));
+  EXPECT_LT(snap->p50, snap->p95);
+  EXPECT_LT(snap->p95, snap->p99);
+  EXPECT_GE(snap->p50, snap->min);
+  EXPECT_LE(snap->p99, snap->max);
+}
+
+TEST_F(MetricsTest, PercentilesMatchExactQuantilesOnKnownDistributions) {
+  // Exact-quantile comparison on deterministic distributions. The log
+  // buckets resolve a factor of 2^(1/4) ≈ 1.19, and rank interpolation
+  // recovers position inside the bucket, so the estimate must sit within
+  // half a bucket ratio (≈ 1.09) of the true quantile — tighter than the
+  // full bucket width the midpoint rule guaranteed.
+  const double half_ratio = 1.0905077326652577;  // 2^(1/8)
+  struct Case {
+    const char* name;
+    std::vector<double> values;
+  };
+  std::vector<Case> cases;
+  // Uniform 1..1000 ms.
+  cases.push_back({"test.exact.uniform", {}});
+  for (int i = 1; i <= 1000; ++i) {
+    cases.back().values.push_back(1e-3 * static_cast<double>(i));
+  }
+  // Geometric: value doubles every 100 samples (heavy right tail).
+  cases.push_back({"test.exact.geometric", {}});
+  for (int i = 0; i < 1000; ++i) {
+    cases.back().values.push_back(1e-4 * std::exp2(i / 100.0));
+  }
+  // Bimodal: fast mode at ~1ms, slow mode at ~80ms.
+  cases.push_back({"test.exact.bimodal", {}});
+  for (int i = 0; i < 900; ++i) {
+    cases.back().values.push_back(1e-3 + 1e-6 * static_cast<double>(i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    cases.back().values.push_back(80e-3 + 1e-5 * static_cast<double>(i));
+  }
+
+  for (const Case& c : cases) {
+    for (double v : c.values) MetricRecord(c.name, v);
+    std::vector<double> sorted = c.values;
+    std::sort(sorted.begin(), sorted.end());
+    const auto exact = [&sorted](double q) {
+      const std::size_t rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(sorted.size())));
+      return sorted[std::max<std::size_t>(rank, 1) - 1];
+    };
+    const auto snap = MetricsRegistry::Global().HistogramSnapshot(c.name);
+    ASSERT_TRUE(snap.has_value()) << c.name;
+    const std::vector<std::pair<double, double>> checks = {
+        {exact(0.50), snap->p50},
+        {exact(0.95), snap->p95},
+        {exact(0.99), snap->p99},
+    };
+    for (const auto& [truth, estimate] : checks) {
+      EXPECT_GE(estimate, truth / half_ratio) << c.name;
+      EXPECT_LE(estimate, truth * half_ratio) << c.name;
+    }
+  }
+}
+
 TEST_F(MetricsTest, SingleValuePercentilesEqualTheValue) {
   MetricRecord("test.one", 0.25);
   const auto snap = MetricsRegistry::Global().HistogramSnapshot("test.one");
@@ -141,6 +217,26 @@ TEST_F(MetricsTest, ToJsonHasStableSchema) {
   // Structurally balanced (a cheap well-formedness check without a parser).
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+TEST_F(MetricsTest, ToJsonIsDeterministicAcrossInsertionOrders) {
+  // Keys are emitted in sorted order regardless of first-touch order, so
+  // two exports of the same state — and BENCH_*.json files from different
+  // runs — diff cleanly.
+  MetricAdd("z.last", 1);
+  MetricAdd("a.first", 2);
+  MetricGauge("m.middle", 3.0);
+  MetricRecord("k.hist", 0.25);
+  const std::string once = MetricsRegistry::Global().ToJson();
+  EXPECT_EQ(once, MetricsRegistry::Global().ToJson());
+  MetricsRegistry::Global().Reset();
+  // Same state reached in the reverse touch order exports byte-identically.
+  MetricRecord("k.hist", 0.25);
+  MetricGauge("m.middle", 3.0);
+  MetricAdd("a.first", 2);
+  MetricAdd("z.last", 1);
+  EXPECT_EQ(MetricsRegistry::Global().ToJson(), once);
+  EXPECT_LT(once.find("\"a.first\""), once.find("\"z.last\""));
 }
 
 TEST_F(MetricsTest, DumpRoundTripsThroughFile) {
