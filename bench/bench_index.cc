@@ -33,6 +33,8 @@
 #include "index/filter_refine.h"
 #include "index/linear_scan.h"
 #include "index/va_file.h"
+#include "linalg/flat_view.h"
+#include "linalg/simd.h"
 
 namespace {
 
@@ -295,6 +297,7 @@ void BM_LinearScanBatchDisjunctive(benchmark::State& state) {
                 [&] { return scan.Search(dist, 100); });
 }
 
+
 // ---------------------------------------------------------------------------
 // PCA filter-and-refine family: full batch scan vs FilterRefineIndex at
 // k' ∈ {4, 8, 16, d} on a wide (d = 32) synthetic workload. The paper's
@@ -346,6 +349,108 @@ qcluster::core::DisjunctiveDistance WideDisjunctive() {
       *clusters, qcluster::stats::CovarianceScheme::kDiagonal, 1e-4);
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-level family: raw DistanceBatch throughput per metric per SIMD
+// dispatch tier, with the tier forced through SetTier (QCLUSTER_SIMD forces
+// the same thing process-wide for full runs). Tiers are byte-identical by
+// contract, so these gauges isolate pure vectorization speedup:
+// `bench.kernel.<metric>.<tier>.points_per_sec`. The wide (d = 32) workload
+// is used rather than the 3-dim color features: below one lane width the
+// kernels are all tail path and the tiers measure identically, so d = 32 is
+// what separates them. Unavailable tiers (e.g. avx2 on an old host) run an
+// empty loop and record nothing.
+
+const qcluster::linalg::FlatBlock& PackedFeatures() {
+  static const auto* block = new qcluster::linalg::FlatBlock(
+      qcluster::linalg::FlatBlock::FromPoints(WideFeatures()));
+  return *block;
+}
+
+template <typename MakeDist>
+void RunKernelTier(benchmark::State& state, const std::string& metric,
+                   const MakeDist& make_dist) {
+  const auto tier = static_cast<qcluster::linalg::simd::Tier>(state.range(0));
+  if (!qcluster::linalg::simd::SetTier(tier)) {
+    for (auto _ : state) {
+    }
+    return;
+  }
+  const qcluster::linalg::FlatBlock& block = PackedFeatures();
+  const auto dist = make_dist();
+  std::vector<double> out(block.size());
+  RunThroughputMetric(
+      state,
+      "bench.kernel." + metric + "." + qcluster::linalg::simd::TierName(tier),
+      block.size(), [&] {
+        dist.DistanceBatch(block.view(), out.data());
+        return out[0];
+      });
+  qcluster::linalg::simd::ResetTierFromEnv();
+}
+
+void BM_KernelEuclidean(benchmark::State& state) {
+  RunKernelTier(state, "euclidean", [] {
+    return qcluster::index::EuclideanDistance(WideFeatures()[0]);
+  });
+}
+
+void BM_KernelWeighted(benchmark::State& state) {
+  RunKernelTier(state, "weighted", [] {
+    qcluster::linalg::Vector w(static_cast<std::size_t>(kWideDim));
+    qcluster::Rng rng(991);
+    for (double& x : w) x = rng.Uniform(0.1, 4.0);
+    return qcluster::index::WeightedEuclideanDistance(WideFeatures()[0], w);
+  });
+}
+
+void BM_KernelMahalanobisFull(benchmark::State& state) {
+  RunKernelTier(state, "mahalanobis_full", [] {
+    qcluster::linalg::Matrix g(kWideDim, kWideDim);
+    qcluster::Rng rng(992);
+    for (int r = 0; r < kWideDim; ++r) {
+      for (int c = 0; c < kWideDim; ++c) g(r, c) = rng.Gaussian();
+    }
+    qcluster::linalg::Matrix a = g.Transposed().Multiply(g).Scale(0.1);
+    a.AddToDiagonal(1.0);
+    return qcluster::index::MahalanobisDistance(WideFeatures()[0], a);
+  });
+}
+
+void BM_KernelDisjunctive(benchmark::State& state) {
+  RunKernelTier(state, "disjunctive", [] { return WideDisjunctive(); });
+}
+
+/// The same disjunctive DistanceBatch on the real 3-dim color features:
+/// the row-lane scheme vectorizes the batch axis, so the narrow workload
+/// speeds up too — this gauge tracks it directly, without the top-k merge
+/// the `bench.linear_scan.batch_disjunctive.*` scan numbers include.
+void BM_KernelDisjunctiveNarrow(benchmark::State& state) {
+  const auto tier = static_cast<qcluster::linalg::simd::Tier>(state.range(0));
+  if (!qcluster::linalg::simd::SetTier(tier)) {
+    for (auto _ : state) {
+    }
+    return;
+  }
+  static const auto* narrow = new qcluster::linalg::FlatBlock(
+      qcluster::linalg::FlatBlock::FromPoints(Features().features));
+  const auto dist = MakeDisjunctive();
+  std::vector<double> out(narrow->size());
+  RunThroughputMetric(
+      state,
+      std::string("bench.kernel_d3.disjunctive.") +
+          qcluster::linalg::simd::TierName(tier),
+      narrow->size(), [&] {
+        dist.DistanceBatch(narrow->view(), out.data());
+        return out[0];
+      });
+  qcluster::linalg::simd::ResetTierFromEnv();
+}
+
+/// One benchmark instance per dispatch tier (0 scalar, 1 sse2/neon, 2 avx2).
+void TierSweep(benchmark::internal::Benchmark* b) {
+  b->Arg(0)->Arg(1)->Arg(2);
+}
+
 void BM_FilterRefineWideDisjunctive(benchmark::State& state) {
   const auto& pts = WideFeatures();
   const int kp = static_cast<int>(state.range(0));
@@ -393,6 +498,18 @@ BENCHMARK(BM_LinearScanBatchEuclidean)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LinearScanBatchDisjunctive)
     ->Apply(ThreadSweep)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_KernelEuclidean)->Apply(TierSweep)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KernelWeighted)->Apply(TierSweep)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KernelMahalanobisFull)
+    ->Apply(TierSweep)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KernelDisjunctive)
+    ->Apply(TierSweep)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KernelDisjunctiveNarrow)
+    ->Apply(TierSweep)
     ->Unit(benchmark::kMicrosecond);
 
 BENCHMARK(BM_FullScanWideDisjunctive)->Unit(benchmark::kMicrosecond);

@@ -101,27 +101,37 @@ DisjunctiveDistance::DisjunctiveDistance(const std::vector<Cluster>& clusters,
 
 double DisjunctiveDistance::ClusterDistance(std::size_t i,
                                             const double* x) const {
+  const auto& kernels = linalg::simd::Kernels();
   const Vector& centroid = centroids_[i];
   const Vector& diag = diagonal_weights_[i];
   if (!diag.empty()) {
     // Diagonal metric fast path: O(d), no scratch at all.
-    double sum = 0.0;
-    for (int d = 0; d < dim_; ++d) {
-      const std::size_t sd = static_cast<std::size_t>(d);
-      const double diff = x[sd] - centroid[sd];
-      sum += diff * (diag[sd] * diff);
-    }
-    return sum;
+    return kernels.weighted_sq_row(diag.data(), centroid.data(), x, dim_);
   }
   // Full metric: reuse a per-thread diff buffer instead of allocating one
-  // per point; QuadraticForm itself is allocation-free.
+  // per point; the quadratic-form kernel itself is allocation-free.
   static thread_local Vector diff;
   diff.resize(static_cast<std::size_t>(dim_));
   for (int d = 0; d < dim_; ++d) {
     const std::size_t sd = static_cast<std::size_t>(d);
     diff[sd] = x[sd] - centroid[sd];
   }
-  return linalg::QuadraticForm(diff, inverse_covs_[i], diff);
+  return kernels.quadratic_form_row(inverse_covs_[i].data(), diff.data(),
+                                    dim_);
+}
+
+linalg::simd::HarmonicSpec DisjunctiveDistance::BuildHarmonicSpec() const {
+  static thread_local std::vector<linalg::simd::QuadComponentView> views;
+  views.resize(centroids_.size());
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    linalg::simd::QuadComponentView& v = views[i];
+    v.query = centroids_[i].data();
+    v.diagonal =
+        diagonal_weights_[i].empty() ? nullptr : diagonal_weights_[i].data();
+    v.full = diagonal_weights_[i].empty() ? inverse_covs_[i].data() : nullptr;
+    v.weight = weights_[i];
+  }
+  return linalg::simd::HarmonicSpec{views.data(), views.size(), total_weight_};
 }
 
 double DisjunctiveDistance::ScoreRow(const double* x) const {
@@ -139,17 +149,12 @@ double DisjunctiveDistance::ScoreRow(const double* x) const {
     return Aggregate(audit_d2.data(), audit_d2.size());
   }
 #endif
-  // Eq. 5 accumulated inline — no per-point d2 buffer. A zero per-cluster
-  // distance means the point sits on a representative: the fuzzy OR
-  // yields 0.
-  double denom = 0.0;
-  for (std::size_t i = 0; i < centroids_.size(); ++i) {
-    const double d2 = ClusterDistance(i, x);
-    if (d2 <= 0.0) return 0.0;
-    denom += weights_[i] / d2;
-  }
-  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
-  return total_weight_ / denom;
+  // Eq. 5 fused in the kernel — no per-point d2 buffer, component loop and
+  // per-cluster forms in one call.
+  static thread_local std::vector<double> scratch;
+  scratch.resize(static_cast<std::size_t>(dim_));
+  return linalg::simd::Kernels().harmonic_row(BuildHarmonicSpec(), x, dim_,
+                                              scratch.data());
 }
 
 double DisjunctiveDistance::Distance(const Vector& x) const {
@@ -160,7 +165,17 @@ double DisjunctiveDistance::Distance(const Vector& x) const {
 void DisjunctiveDistance::DistanceBatch(const linalg::FlatView& view,
                                         double* out) const {
   QCLUSTER_CHECK(view.dim == dim_);
-  for (std::size_t i = 0; i < view.n; ++i) out[i] = ScoreRow(view.row(i));
+#ifndef NDEBUG
+  if (AuditEnabled()) {
+    for (std::size_t i = 0; i < view.n; ++i) out[i] = ScoreRow(view.row(i));
+    return;
+  }
+#endif
+  static thread_local std::vector<double> scratch;
+  scratch.resize(static_cast<std::size_t>(dim_));
+  linalg::simd::Kernels().harmonic_batch(BuildHarmonicSpec(), view.data,
+                                         view.n, view.dim, scratch.data(),
+                                         out);
 }
 
 double DisjunctiveDistance::MinDistance(const index::Rect& rect) const {
@@ -170,18 +185,9 @@ double DisjunctiveDistance::MinDistance(const index::Rect& rect) const {
     if (!diagonal_weights_[i].empty()) {
       // Exact lower bound for a diagonal quadratic form: per-dimension
       // clamped distance, weighted.
-      double sum = 0.0;
-      for (int d = 0; d < dim_; ++d) {
-        const std::size_t sd = static_cast<std::size_t>(d);
-        double diff = 0.0;
-        if (centroids_[i][sd] < rect.lo[sd]) {
-          diff = rect.lo[sd] - centroids_[i][sd];
-        } else if (centroids_[i][sd] > rect.hi[sd]) {
-          diff = centroids_[i][sd] - rect.hi[sd];
-        }
-        sum += diagonal_weights_[i][sd] * diff * diff;
-      }
-      d2[i] = sum;
+      d2[i] = linalg::simd::Kernels().weighted_rect_row(
+          diagonal_weights_[i].data(), centroids_[i].data(), rect.lo.data(),
+          rect.hi.data(), dim_);
     } else {
       d2[i] =
           min_eigenvalues_[i] * rect.SquaredEuclideanDistance(centroids_[i]);

@@ -6,6 +6,7 @@
 
 #include "core/cluster.h"
 #include "index/distance.h"
+#include "linalg/simd.h"
 
 namespace qcluster::core {
 
@@ -63,6 +64,12 @@ class DisjunctiveDistance final : public index::DistanceFunction {
   /// Eq. 1 for cluster `i` at the raw point `x` (length dim_): O(d) for
   /// diagonal metrics, O(d²) with per-thread scratch for full ones.
   double ClusterDistance(std::size_t i, const double* x) const;
+
+  /// Borrows this object's clusters as the kernel-facing Eq. 5 spec. The
+  /// component views live in per-thread storage (rebuilt per call, pointer
+  /// fills only), so copies of this object stay safe and concurrent scans
+  /// never share them.
+  linalg::simd::HarmonicSpec BuildHarmonicSpec() const;
 
   /// Eq. 5 at the raw point `x`.
   double ScoreRow(const double* x) const;

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "linalg/eigen_sym.h"
+#include "linalg/simd.h"
 
 namespace qcluster::index {
 
@@ -32,27 +33,22 @@ Rect Rect::Empty(int dim) {
 
 double Rect::SquaredEuclideanDistance(const Vector& x) const {
   QCLUSTER_CHECK(x.size() == lo.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    double d = 0.0;
-    if (x[i] < lo[i]) {
-      d = lo[i] - x[i];
-    } else if (x[i] > hi[i]) {
-      d = x[i] - hi[i];
-    }
-    sum += d * d;
-  }
-  return sum;
+  return linalg::simd::Kernels().weighted_rect_row(
+      nullptr, x.data(), lo.data(), hi.data(), static_cast<int>(x.size()));
+}
+
+double DistanceFunction::DistanceRow(const double* x) const {
+  // Fallback for subclasses that only implement Distance: stage the row in
+  // a thread-local Vector so repeated calls never allocate once the scratch
+  // reaches dim() capacity.
+  thread_local Vector scratch;
+  scratch.assign(x, x + dim());
+  return Distance(scratch);
 }
 
 void DistanceFunction::DistanceBatch(const FlatView& view, double* out) const {
   QCLUSTER_CHECK(view.dim == dim());
-  Vector scratch(static_cast<std::size_t>(view.dim));
-  for (std::size_t i = 0; i < view.n; ++i) {
-    const double* row = view.row(i);
-    std::copy(row, row + view.dim, scratch.begin());
-    out[i] = Distance(scratch);
-  }
+  for (std::size_t i = 0; i < view.n; ++i) out[i] = DistanceRow(view.row(i));
 }
 
 double DistanceFunction::MinDistance(const Rect& rect) const {
@@ -101,26 +97,20 @@ EuclideanDistance::EuclideanDistance(Vector query) : query_(std::move(query)) {
   QCLUSTER_CHECK(!query_.empty());
 }
 
-double EuclideanDistance::ScoreRow(const double* x) const {
-  // Same element order as linalg::SquaredDistance(query_, x) so scalar and
-  // batch scores are bit-identical.
-  double sum = 0.0;
-  for (std::size_t i = 0; i < query_.size(); ++i) {
-    const double d = query_[i] - x[i];
-    sum += d * d;
-  }
-  return sum;
+double EuclideanDistance::DistanceRow(const double* x) const {
+  return linalg::simd::Kernels().squared_l2_row(query_.data(), x, dim());
 }
 
 double EuclideanDistance::Distance(const Vector& x) const {
   QCLUSTER_CHECK(x.size() == query_.size());
-  return ScoreRow(x.data());
+  return DistanceRow(x.data());
 }
 
 void EuclideanDistance::DistanceBatch(const FlatView& view,
                                       double* out) const {
   QCLUSTER_CHECK(view.dim == dim());
-  for (std::size_t i = 0; i < view.n; ++i) out[i] = ScoreRow(view.row(i));
+  linalg::simd::Kernels().squared_l2_batch(query_.data(), view.data, view.n,
+                                           view.dim, out);
 }
 
 double EuclideanDistance::MinDistance(const Rect& rect) const {
@@ -144,38 +134,26 @@ WeightedEuclideanDistance::WeightedEuclideanDistance(Vector query,
   for (double w : weights_) QCLUSTER_CHECK(w >= 0.0);
 }
 
-double WeightedEuclideanDistance::ScoreRow(const double* x) const {
-  double sum = 0.0;
-  for (std::size_t i = 0; i < query_.size(); ++i) {
-    const double d = x[i] - query_[i];
-    sum += weights_[i] * d * d;
-  }
-  return sum;
+double WeightedEuclideanDistance::DistanceRow(const double* x) const {
+  return linalg::simd::Kernels().weighted_sq_row(weights_.data(), query_.data(),
+                                                 x, dim());
 }
 
 double WeightedEuclideanDistance::Distance(const Vector& x) const {
   QCLUSTER_CHECK(x.size() == query_.size());
-  return ScoreRow(x.data());
+  return DistanceRow(x.data());
 }
 
 void WeightedEuclideanDistance::DistanceBatch(const FlatView& view,
                                               double* out) const {
   QCLUSTER_CHECK(view.dim == dim());
-  for (std::size_t i = 0; i < view.n; ++i) out[i] = ScoreRow(view.row(i));
+  linalg::simd::Kernels().weighted_sq_batch(weights_.data(), query_.data(),
+                                            view.data, view.n, view.dim, out);
 }
 
 double WeightedEuclideanDistance::MinDistance(const Rect& rect) const {
-  double sum = 0.0;
-  for (std::size_t i = 0; i < query_.size(); ++i) {
-    double d = 0.0;
-    if (query_[i] < rect.lo[i]) {
-      d = rect.lo[i] - query_[i];
-    } else if (query_[i] > rect.hi[i]) {
-      d = query_[i] - rect.hi[i];
-    }
-    sum += weights_[i] * d * d;
-  }
-  return sum;
+  return linalg::simd::Kernels().weighted_rect_row(
+      weights_.data(), query_.data(), rect.lo.data(), rect.hi.data(), dim());
 }
 
 bool WeightedEuclideanDistance::Decompose(QuadraticDecomposition* out) const {
@@ -218,62 +196,41 @@ MahalanobisDistance::MahalanobisDistance(Vector query,
   }
 }
 
-double MahalanobisDistance::ScoreRow(const double* x) const {
-  const std::size_t d = query_.size();
+double MahalanobisDistance::DistanceRow(const double* x) const {
+  const auto& kernels = linalg::simd::Kernels();
   if (diagonal_) {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < d; ++i) {
-      const double diff = x[i] - query_[i];
-      sum += diff * (diagonal_weights_[i] * diff);
-    }
-    return sum;
+    return kernels.weighted_sq_row(diagonal_weights_.data(), query_.data(), x,
+                                   dim());
   }
-  // (x−q)'A(x−q) = xᵀAx − 2·xᵀ(Aq) + qᵀAq with A·q cached: no diff vector
-  // is ever materialized. The expansion can go epsilon-negative near the
-  // query through cancellation; clamp so distances stay comparable with the
-  // non-negative rectangle bounds.
-  double x_ax = 0.0;
-  double x_aq = 0.0;
-  for (std::size_t r = 0; r < d; ++r) {
-    const double xr = x[r];
-    double inner = 0.0;
-    for (std::size_t c = 0; c < d; ++c) {
-      inner += inverse_covariance_(static_cast<int>(r), static_cast<int>(c)) *
-               x[c];
-    }
-    x_ax += xr * inner;
-    x_aq += xr * a_q_[r];
-  }
-  const double value = x_ax - 2.0 * x_aq + q_aq_;
-  return value > 0.0 ? value : 0.0;
+  return kernels.mahalanobis_row(inverse_covariance_.data(), a_q_.data(), q_aq_,
+                                 x, dim());
 }
 
 double MahalanobisDistance::Distance(const Vector& x) const {
   QCLUSTER_CHECK(x.size() == query_.size());
-  return ScoreRow(x.data());
+  return DistanceRow(x.data());
 }
 
 void MahalanobisDistance::DistanceBatch(const FlatView& view,
                                         double* out) const {
   QCLUSTER_CHECK(view.dim == dim());
-  for (std::size_t i = 0; i < view.n; ++i) out[i] = ScoreRow(view.row(i));
+  const auto& kernels = linalg::simd::Kernels();
+  if (diagonal_) {
+    kernels.weighted_sq_batch(diagonal_weights_.data(), query_.data(),
+                              view.data, view.n, view.dim, out);
+    return;
+  }
+  kernels.mahalanobis_batch(inverse_covariance_.data(), a_q_.data(), q_aq_,
+                            view.data, view.n, view.dim, out);
 }
 
 double MahalanobisDistance::MinDistance(const Rect& rect) const {
   if (diagonal_) {
     // Exact per-dimension bound for a diagonal quadratic form — tighter
     // than λ_min · d²_euclid whenever the diagonal is anisotropic.
-    double sum = 0.0;
-    for (std::size_t i = 0; i < query_.size(); ++i) {
-      double d = 0.0;
-      if (query_[i] < rect.lo[i]) {
-        d = rect.lo[i] - query_[i];
-      } else if (query_[i] > rect.hi[i]) {
-        d = query_[i] - rect.hi[i];
-      }
-      sum += diagonal_weights_[i] * d * d;
-    }
-    return sum;
+    return linalg::simd::Kernels().weighted_rect_row(
+        diagonal_weights_.data(), query_.data(), rect.lo.data(),
+        rect.hi.data(), dim());
   }
   return min_eigenvalue_ * rect.SquaredEuclideanDistance(query_);
 }

@@ -68,16 +68,25 @@ class DistanceFunction {
   /// Dissimilarity between the (implicit) query and the point `x`.
   virtual double Distance(const linalg::Vector& x) const = 0;
 
+  /// Distance to a raw row of dim() doubles — the per-row entry point batch
+  /// scoring and tree searches use, with no Vector materialization. The
+  /// default copies the row into a thread-local scratch Vector and calls
+  /// Distance, so subclasses that only implement Distance stay correct (and
+  /// allocation-free after the scratch warms up); in-tree metrics override
+  /// it with a direct kernel call.
+  virtual double DistanceRow(const double* x) const;
+
   /// Scores every row of `view` into out[0..view.n). `view.dim` must equal
   /// dim() and `out` must hold view.n doubles.
   ///
   /// Contract: DistanceBatch(view, out)[i] must equal Distance(row i)
   /// *bit for bit* — implementations route both entry points through one
-  /// shared kernel — so batched (linear scan) and scalar (tree) searches
-  /// rank identically and indexes can be cross-validated with exact
-  /// comparisons. Overrides must be thread-safe: shards of one view are
-  /// scored concurrently. The default loops over Distance with a single
-  /// reused scratch vector.
+  /// shared kernel (linalg/simd.h, whose canonical reduction order also
+  /// makes results identical across dispatch tiers) — so batched (linear
+  /// scan) and scalar (tree) searches rank identically and indexes can be
+  /// cross-validated with exact comparisons. Overrides must be thread-safe:
+  /// shards of one view are scored concurrently. The default loops over
+  /// DistanceRow and never allocates per row.
   virtual void DistanceBatch(const linalg::FlatView& view, double* out) const;
 
   /// A lower bound of `Distance(x)` over all x in `rect`. The default (0)
@@ -98,14 +107,13 @@ class EuclideanDistance final : public DistanceFunction {
 
   int dim() const override { return static_cast<int>(query_.size()); }
   double Distance(const linalg::Vector& x) const override;
+  double DistanceRow(const double* x) const override;
   void DistanceBatch(const linalg::FlatView& view,
                      double* out) const override;
   double MinDistance(const Rect& rect) const override;
   bool Decompose(QuadraticDecomposition* out) const override;
 
  private:
-  double ScoreRow(const double* x) const;
-
   linalg::Vector query_;
 };
 
@@ -117,14 +125,13 @@ class WeightedEuclideanDistance final : public DistanceFunction {
 
   int dim() const override { return static_cast<int>(query_.size()); }
   double Distance(const linalg::Vector& x) const override;
+  double DistanceRow(const double* x) const override;
   void DistanceBatch(const linalg::FlatView& view,
                      double* out) const override;
   double MinDistance(const Rect& rect) const override;
   bool Decompose(QuadraticDecomposition* out) const override;
 
  private:
-  double ScoreRow(const double* x) const;
-
   linalg::Vector query_;
   linalg::Vector weights_;
 };
@@ -149,14 +156,13 @@ class MahalanobisDistance final : public DistanceFunction {
 
   int dim() const override { return static_cast<int>(query_.size()); }
   double Distance(const linalg::Vector& x) const override;
+  double DistanceRow(const double* x) const override;
   void DistanceBatch(const linalg::FlatView& view,
                      double* out) const override;
   double MinDistance(const Rect& rect) const override;
   bool Decompose(QuadraticDecomposition* out) const override;
 
  private:
-  double ScoreRow(const double* x) const;
-
   linalg::Vector query_;
   linalg::Matrix inverse_covariance_;
   bool diagonal_;                ///< All off-diagonal entries exactly 0.

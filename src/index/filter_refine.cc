@@ -10,6 +10,7 @@
 #include "common/mutex.h"
 #include "common/trace.h"
 #include "core/invariants.h"
+#include "linalg/simd.h"
 
 namespace qcluster::index {
 
@@ -123,7 +124,7 @@ FilterRefineIndex::EnsureProjection(const QuadraticDecomposition& decomp,
     // linear sweep.
     const std::size_t comps = decomp.components.size();
     const int width = static_cast<int>(comps) * reduced;
-    std::vector<double> data(view_.n * static_cast<std::size_t>(width));
+    linalg::AlignedBuffer data(view_.n * static_cast<std::size_t>(width));
     pool().ParallelFor(
         view_.n, kMinShardPoints,
         [&](int, std::size_t begin, std::size_t end) {
@@ -209,32 +210,21 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
       // Eq. 5 aggregate: per-cluster reduced distances combined with the same
       // α = −2 rule. The aggregate is monotone in each d²ᵢ, so feeding it
       // per-cluster lower bounds yields a lower bound on the whole metric.
+      // The packed rows are exactly the segment layout the harmonic
+      // segments kernel scans — per-segment Euclidean forms fused with the
+      // combine, no per-point inner-loop dispatch.
+      std::vector<linalg::simd::QuadComponentView> components(comps);
+      for (std::size_t j = 0; j < comps; ++j) {
+        components[j].query = zq[j].data();
+        components[j].weight = decomp.components[j].weight;
+      }
+      const linalg::simd::HarmonicSpec spec{components.data(), comps,
+                                            decomp.total_weight};
       tp.ParallelFor(
           n, kMinShardPoints, [&](int, std::size_t begin, std::size_t end) {
-            for (std::size_t i = begin; i < end; ++i) {
-              const double* row = reduced_view.row(i);
-              double denom = 0.0;
-              bool zero = false;
-              for (std::size_t j = 0; j < comps; ++j) {
-                const double* seg =
-                    row + j * static_cast<std::size_t>(reduced);
-                const linalg::Vector& q = zq[j];
-                double d2 = 0.0;
-                for (std::size_t t = 0; t < q.size(); ++t) {
-                  const double d = q[t] - seg[t];
-                  d2 += d * d;
-                }
-                if (d2 <= 0.0) {
-                  zero = true;
-                  break;
-                }
-                denom += decomp.components[j].weight / d2;
-              }
-              lbs[i] = zero ? 0.0
-                       : (denom <= 0.0
-                              ? std::numeric_limits<double>::infinity()
-                              : decomp.total_weight / denom);
-            }
+            const linalg::FlatView slice = reduced_view.Slice(begin, end);
+            linalg::simd::Kernels().harmonic_segments_batch(
+                spec, slice.data, slice.n, reduced, lbs.data() + begin);
           });
     }
   }

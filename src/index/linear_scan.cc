@@ -7,6 +7,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/invariants.h"
+#include "linalg/simd.h"
 
 namespace qcluster::index {
 
@@ -119,6 +120,10 @@ std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
     }
     MetricGauge("index.linear_scan.batch.shards",
                 static_cast<double>(shards));
+    // Which SIMD tier scored this scan; tier choice never changes the
+    // scores (linalg/simd.h), only the throughput above.
+    MetricGauge("simd.dispatch_tier",
+                static_cast<double>(linalg::simd::ActiveTier()));
   }
   return TopK(std::move(merged), k);
 }

@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "index/linear_scan.h"
+#include "linalg/simd.h"
 
 namespace qcluster::index {
 
@@ -94,6 +95,11 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
   {
     QCLUSTER_TRACE_SPAN(bounds_span, "index.va_file.bounds");
     bounds_span.AddAttr("shards", shards);
+    // Phase 1 is one MinDistance per cell rectangle; those bounds run on
+    // the vectorized rect kernels, so record the tier alongside the shard
+    // fan-out when comparing traces across hosts.
+    bounds_span.AddAttr("simd_tier",
+                        linalg::simd::TierName(linalg::simd::ActiveTier()));
     pool.ParallelFor(n, kMinShardPoints,
                      [&](int /*shard*/, std::size_t begin, std::size_t end) {
                        Rect rect;

@@ -47,6 +47,10 @@ class Matrix {
                  static_cast<std::size_t>(c)];
   }
 
+  /// Raw row-major storage (rows() * cols() doubles). The pointer the SIMD
+  /// quadratic-form kernels walk; row r starts at data() + r * cols().
+  const double* data() const { return data_.data(); }
+
   /// Returns row `r` as a vector copy.
   Vector Row(int r) const;
 

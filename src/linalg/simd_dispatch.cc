@@ -1,0 +1,193 @@
+// Runtime kernel dispatch: picks the widest tier the running CPU supports
+// (or the QCLUSTER_SIMD override) once, then serves it through one atomic
+// load per call site. All tiers are byte-identical by construction (see the
+// canonical reduction-order contract in simd.h), so the choice is purely a
+// throughput decision — results never depend on it.
+
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/mutex.h"
+
+namespace qcluster::linalg::simd {
+
+namespace {
+
+/// The QCLUSTER_SIMD preference, parsed once pre-main (static init is
+/// single-threaded, so plain fields are race-free afterwards).
+struct EnvPreference {
+  bool forced = false;  ///< False: auto — pick the best available tier.
+  Tier tier = Tier::kScalar;
+  std::string raw;  ///< Original value, for the one-time warning.
+  bool unknown = false;
+};
+
+EnvPreference& Preference() {
+  static EnvPreference pref;
+  return pref;
+}
+
+Mutex& DispatchMutex() {
+  static Mutex* mu = new Mutex();
+  return *mu;
+}
+
+std::atomic<const KernelTable*>& ActiveTable() {
+  static std::atomic<const KernelTable*> active{nullptr};
+  return active;
+}
+
+const KernelTable* TableFor(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return internal::ScalarTable();
+    case Tier::kWidth2:
+      return internal::Width2Table();
+    case Tier::kWidth4:
+      return internal::Width4Table();
+  }
+  return nullptr;
+}
+
+bool CpuSupports(Tier tier) {
+  if (tier == Tier::kScalar || tier == Tier::kWidth2) {
+    // Width-2 is baseline for every architecture it compiles on (SSE2 on
+    // x86-64, NEON on AArch64); availability is the compile-time table.
+    return true;
+  }
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool has_avx2 = __builtin_cpu_supports("avx2") != 0;
+  return has_avx2;
+#else
+  return false;
+#endif
+}
+
+Tier BestAvailable() {
+  if (TierAvailable(Tier::kWidth4)) return Tier::kWidth4;
+  if (TierAvailable(Tier::kWidth2)) return Tier::kWidth2;
+  return Tier::kScalar;
+}
+
+// No GUARDED_BY fields here: the published pointer is atomic and the gauge
+// is internally synchronized. DispatchMutex() only serializes resolution so
+// the warn-once logs and publish order stay coherent.
+void Publish(const KernelTable* table) {
+  ActiveTable().store(table, std::memory_order_release);
+  MetricGauge("simd.dispatch_tier", static_cast<double>(table->tier));
+}
+
+/// Resolves and publishes the default tier (env preference, else best
+/// available). Called lazily from the first Kernels() and from
+/// ResetTierFromEnv.
+const KernelTable* ResolveDefault() {
+  MutexLock lock(DispatchMutex());
+  const EnvPreference& pref = Preference();
+  Tier tier = BestAvailable();
+  if (pref.unknown) {
+    QCLUSTER_LOG(kWarning) << "QCLUSTER_SIMD=" << pref.raw
+                           << " not recognized (want scalar|sse2|neon|avx2|"
+                              "auto); using "
+                           << TierName(tier);
+  } else if (pref.forced) {
+    if (TierAvailable(pref.tier)) {
+      tier = pref.tier;
+    } else {
+      QCLUSTER_LOG(kWarning)
+          << "QCLUSTER_SIMD=" << pref.raw
+          << " unavailable on this host; using " << TierName(tier);
+    }
+  }
+  const KernelTable* table = TableFor(tier);
+  QCLUSTER_CHECK(table != nullptr);
+  QCLUSTER_LOG(kDebug) << "simd dispatch: " << TierName(tier);
+  Publish(table);
+  return table;
+}
+
+}  // namespace
+
+const KernelTable& Kernels() {
+  const KernelTable* table = ActiveTable().load(std::memory_order_acquire);
+  if (table != nullptr) return *table;
+  return *ResolveDefault();
+}
+
+Tier ActiveTier() { return Kernels().tier; }
+
+bool TierAvailable(Tier tier) {
+  return TableFor(tier) != nullptr && CpuSupports(tier);
+}
+
+bool SetTier(Tier tier) {
+  if (!TierAvailable(tier)) return false;
+  MutexLock lock(DispatchMutex());
+  Publish(TableFor(tier));
+  return true;
+}
+
+void ResetTierFromEnv() {
+  {
+    MutexLock lock(DispatchMutex());
+    ActiveTable().store(nullptr, std::memory_order_release);
+  }
+  (void)ResolveDefault();
+}
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kWidth2:
+#if defined(__ARM_NEON) || defined(__ARM_NEON__) || defined(__aarch64__)
+      return "neon";
+#else
+      return "sse2";
+#endif
+    case Tier::kWidth4:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+bool InitSimdFromEnv() {
+  static const bool applied = [] {
+    const char* value = std::getenv("QCLUSTER_SIMD");
+    if (value == nullptr || value[0] == '\0') return true;
+    EnvPreference& pref = Preference();
+    pref.raw = value;
+    std::string lower;
+    lower.reserve(pref.raw.size());
+    for (char c : pref.raw) {
+      lower.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (lower == "auto") return true;
+    pref.forced = true;
+    if (lower == "scalar") {
+      pref.tier = Tier::kScalar;
+    } else if (lower == "sse2" || lower == "neon" || lower == "w2") {
+      pref.tier = Tier::kWidth2;
+    } else if (lower == "avx2" || lower == "w4") {
+      pref.tier = Tier::kWidth4;
+    } else {
+      pref.forced = false;
+      pref.unknown = true;
+    }
+    return true;
+  }();
+  return applied;
+}
+
+}  // namespace internal
+
+}  // namespace qcluster::linalg::simd

@@ -1,0 +1,28 @@
+// Scalar dispatch tier: one row per batch step, so every batch kernel
+// degrades to a loop over the canonical row kernels. This tier exists on
+// every build and is the reference the wider tiers must match byte for
+// byte; it is also the tier QCLUSTER_SIMD=scalar forces in CI to prove
+// dispatch independence.
+
+#include "linalg/simd_kernels.h"
+
+namespace qcluster::linalg::simd::internal {
+
+namespace {
+
+/// Width-1 policy: no lane ops are ever instantiated — the batch bodies
+/// discard their vector branches at compile time and fall through to the
+/// row kernels.
+struct ScalarPolicy {
+  static constexpr int kWidth = 1;
+  using V = double;
+  using M = bool;
+};
+
+constexpr KernelTable kTable = MakeTable<ScalarPolicy>(Tier::kScalar);
+
+}  // namespace
+
+const KernelTable* ScalarTable() { return &kTable; }
+
+}  // namespace qcluster::linalg::simd::internal

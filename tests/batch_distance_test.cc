@@ -1,9 +1,13 @@
 // Batch-vs-scalar parity: every DistanceBatch kernel must reproduce the
-// scalar Distance values (the contract is bit-for-bit; asserted here at
-// 1e-12) for all four distance types, with diagonal and full covariance
-// shapes, so batched and scalar searches rank identically.
+// scalar Distance values bit for bit — both route through the shared SIMD
+// kernels (linalg/simd.h) — for all distance types, with diagonal and full
+// covariance shapes, so batched and scalar searches rank identically. Also
+// pins the base-class DistanceBatch fallback to zero per-row allocations.
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,6 +17,38 @@
 #include "core/disjunctive_distance.h"
 #include "index/distance.h"
 #include "linalg/flat_view.h"
+
+// Counts every allocation through global operator new so the fallback-path
+// test below can assert steady-state batch scoring allocates nothing per
+// row. Relaxed atomics: the counter is only read on the test thread.
+namespace {
+std::atomic<long long> g_alloc_count{0};
+}  // namespace
+
+// The replacements are a matched malloc/free pair, but GCC under TSan
+// attributes inlined delete expressions back to these definitions and
+// reports a spurious mismatched-new-delete.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace qcluster::index {
 namespace {
@@ -37,7 +73,7 @@ void ExpectBatchMatchesScalar(const DistanceFunction& dist,
   std::vector<double> batch(pts.size());
   dist.DistanceBatch(block.view(), batch.data());
   for (std::size_t i = 0; i < pts.size(); ++i) {
-    EXPECT_NEAR(batch[i], dist.Distance(pts[i]), 1e-12) << "point " << i;
+    EXPECT_EQ(batch[i], dist.Distance(pts[i])) << "point " << i;
   }
 }
 
@@ -137,6 +173,36 @@ TEST(BatchParityTest, DefaultBatchImplementation) {
   Rng rng(417);
   ExpectBatchMatchesScalar(L1Distance(rng.GaussianVector(4)),
                            RandomPoints(100, 4, rng));
+}
+
+TEST(BatchParityTest, DefaultBatchDoesNotAllocatePerRow) {
+  // The base-class fallback stages each row in a thread-local scratch
+  // vector: after one warm-up call, batch scoring a subclass that only
+  // implements Distance must be allocation-free.
+  class L1Distance final : public DistanceFunction {
+   public:
+    explicit L1Distance(Vector q) : q_(std::move(q)) {}
+    int dim() const override { return static_cast<int>(q_.size()); }
+    double Distance(const Vector& x) const override {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < q_.size(); ++i) {
+        sum += std::abs(x[i] - q_[i]);
+      }
+      return sum;
+    }
+
+   private:
+    Vector q_;
+  };
+  Rng rng(420);
+  const L1Distance dist(rng.GaussianVector(6));
+  const FlatBlock block = FlatBlock::FromPoints(RandomPoints(256, 6, rng));
+  std::vector<double> out(block.size());
+  dist.DistanceBatch(block.view(), out.data());  // Warm the scratch.
+  const long long before = g_alloc_count.load(std::memory_order_relaxed);
+  dist.DistanceBatch(block.view(), out.data());
+  const long long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "default DistanceBatch must not allocate";
 }
 
 TEST(BatchParityTest, DisjunctivePointOnCentroidIsZero) {
