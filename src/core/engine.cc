@@ -11,10 +11,7 @@ using linalg::Vector;
 QclusterEngine::QclusterEngine(const std::vector<Vector>* database,
                                const index::KnnIndex* knn,
                                const QclusterOptions& options)
-    : database_(database),
-      knn_(knn),
-      br_tree_(dynamic_cast<const index::BrTree*>(knn)),
-      options_(options) {
+    : database_(database), knn_(knn), options_(options) {
   QCLUSTER_CHECK(database != nullptr);
   QCLUSTER_CHECK(knn != nullptr);
   QCLUSTER_CHECK(options.k > 0);
@@ -149,7 +146,7 @@ DisjunctiveDistance QclusterEngine::CurrentDistance() const {
 void QclusterEngine::Reset() {
   clusters_.clear();
   seen_ids_.clear();
-  cache_.Clear();
+  warm_.Clear();
   last_stats_ = index::SearchStats{};
   iteration_ = 0;
   floor_ = 0.0;
@@ -159,15 +156,19 @@ void QclusterEngine::Reset() {
 std::vector<index::Neighbor> QclusterEngine::RunQuery(
     const index::DistanceFunction& dist) {
   last_stats_ = index::SearchStats{};
-  if (filter_refine_ != nullptr) {
-    // pca_dims opts every round into the filter-and-refine scan; it
-    // returns exactly what the exhaustive index would.
-    return filter_refine_->Search(dist, options_.k, &last_stats_);
+  // pca_dims opts every round into the filter-and-refine scan; it returns
+  // exactly what the exhaustive index would.
+  const index::KnnIndex* idx =
+      filter_refine_ != nullptr
+          ? static_cast<const index::KnnIndex*>(filter_refine_.get())
+          : knn_;
+  if (options_.use_query_cache) {
+    // One warm-start path for every index: round t's survivors (recorded
+    // into warm_ by SearchWarm itself) seed round t+1's certified θ₀
+    // pruning bound. Results stay bit-for-bit identical to cold searches.
+    return idx->SearchWarm(dist, options_.k, warm_, &last_stats_);
   }
-  if (br_tree_ != nullptr && options_.use_query_cache) {
-    return br_tree_->SearchCached(dist, options_.k, cache_, &last_stats_);
-  }
-  return knn_->Search(dist, options_.k, &last_stats_);
+  return idx->Search(dist, options_.k, &last_stats_);
 }
 
 }  // namespace qcluster::core

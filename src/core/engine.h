@@ -12,7 +12,6 @@
 #include "core/hierarchical.h"
 #include "core/merging.h"
 #include "core/retrieval_method.h"
-#include "index/br_tree.h"
 #include "index/filter_refine.h"
 #include "index/knn.h"
 
@@ -49,9 +48,15 @@ struct QclusterOptions {
   /// regularizes small-cluster ellipsoids; 0 (default) reproduces the
   /// paper's metric exactly. See bench_ablation_shrinkage.
   double covariance_shrinkage = 0.0;
-  /// Reuse index information across feedback iterations (the multipoint
-  /// refinement optimization measured in Fig. 7). Effective only when the
-  /// engine's index is a BrTree.
+  /// Reuse the previous round's survivors across feedback iterations (the
+  /// multipoint refinement optimization measured in Fig. 7, generalized to
+  /// the session-resident index::WarmStart cache): every k-NN round runs
+  /// through KnnIndex::SearchWarm, which re-scores the cached survivors for
+  /// a certified θ₀ upper bound on the k-th distance and prunes with it.
+  /// Effective on every index path — BrTree skips cached leaves, the linear
+  /// scan rejects at heap admission, filter-refine tightens its survivor
+  /// bound, the VA-file stops its candidate walk early — and results stay
+  /// bit-for-bit identical to cold searches.
   bool use_query_cache = true;
   /// Dimensionality k' of the PCA filter-and-refine pre-filter (Sec. 4.4 /
   /// Eq. 17-19). 0 (default) disables it and queries go to the engine's
@@ -77,9 +82,10 @@ struct QclusterOptions {
 ///   }
 class QclusterEngine final : public RetrievalMethod {
  public:
-  /// `database` and `knn` must outlive the engine. When `knn` is a BrTree
-  /// and options.use_query_cache is set, refined queries are warm-started
-  /// from the previous iteration's candidates.
+  /// `database` and `knn` must outlive the engine. When
+  /// options.use_query_cache is set, refined queries are warm-started from
+  /// the previous iteration's candidates via the engine's WarmStart cache,
+  /// whichever index serves them.
   QclusterEngine(const std::vector<linalg::Vector>* database,
                  const index::KnnIndex* knn, const QclusterOptions& options);
 
@@ -118,6 +124,11 @@ class QclusterEngine final : public RetrievalMethod {
   /// shrinkage floor, at least options.min_variance).
   double effective_min_variance() const { return floor_; }
 
+  /// The session-resident cross-round candidate cache (empty before the
+  /// first round or with use_query_cache off). Exposed for tests and for
+  /// RetrievalSession's cache introspection.
+  const index::WarmStart& warm_start() const { return warm_; }
+
  private:
   std::vector<index::Neighbor> RunQuery(const index::DistanceFunction& dist);
   void UpdateVarianceFloor();
@@ -127,7 +138,6 @@ class QclusterEngine final : public RetrievalMethod {
 
   const std::vector<linalg::Vector>* database_;
   const index::KnnIndex* knn_;
-  const index::BrTree* br_tree_;  ///< Non-null when `knn_` is a BrTree.
   QclusterOptions options_;
   /// Engine-owned filter-and-refine pipeline; non-null iff
   /// options.pca_dims != 0, in which case RunQuery routes through it
@@ -136,7 +146,11 @@ class QclusterEngine final : public RetrievalMethod {
 
   std::vector<Cluster> clusters_;
   std::unordered_set<int> seen_ids_;
-  index::BrTree::QueryCache cache_;
+  /// Cross-round candidate cache (see index::WarmStart): round t's
+  /// survivors seed round t+1's certified θ₀ pruning bound. One per
+  /// engine, i.e. one per retrieval session; RetrievalSession serializes
+  /// all engine access under its mutex.
+  index::WarmStart warm_;
   index::SearchStats last_stats_;
   int iteration_ = 0;
   double floor_ = 0.0;

@@ -108,4 +108,9 @@ bool RetrievalSession::started() const {
   return query_.has_value();
 }
 
+int RetrievalSession::warm_candidates() const {
+  MutexLock lock(mu_);
+  return engine_.warm_start().size();
+}
+
 }  // namespace qcluster::core

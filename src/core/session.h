@@ -33,6 +33,11 @@ struct SessionRound {
 /// return consistent snapshots by value, never references into guarded
 /// state. This is the contract the roadmap's long-lived session server
 /// builds on (concurrent status reads while a round is in flight).
+///
+/// The engine's cross-round candidate cache (index::WarmStart) rides
+/// inside `engine_` and therefore under the same mutex: each session owns
+/// an independent cache, so concurrent sessions over one shared database
+/// and index never share warm-start state.
 class RetrievalSession {
  public:
   /// Wraps an engine configuration over `database`/`knn` (both outlive the
@@ -69,6 +74,11 @@ class RetrievalSession {
 
   /// True once Start has been called.
   [[nodiscard]] bool started() const QCLUSTER_EXCLUDES(mu_);
+
+  /// Number of candidate ids resident in this session's cross-round
+  /// warm-start cache — the state the next round's θ₀ certificate will be
+  /// seeded from (0 before Start or with use_query_cache off).
+  [[nodiscard]] int warm_candidates() const QCLUSTER_EXCLUDES(mu_);
 
  private:
   std::vector<index::Neighbor> FeedbackLocked(

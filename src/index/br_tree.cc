@@ -75,29 +75,51 @@ int BrTree::Build(int begin, int end, int leaf_size) {
 
 std::vector<Neighbor> BrTree::Search(const DistanceFunction& dist, int k,
                                      SearchStats* stats) const {
-  return SearchImpl(dist, k, nullptr, nullptr, stats);
+  return SearchImpl(dist, k, nullptr, nullptr, nullptr, nullptr, stats);
 }
 
-std::vector<Neighbor> BrTree::SearchCached(const DistanceFunction& dist, int k,
-                                           QueryCache& cache,
-                                           SearchStats* stats) const {
-  QueryCache touched;
-  std::vector<Neighbor> result =
-      SearchImpl(dist, k, cache.empty() ? nullptr : &cache, &touched, stats);
-  cache = std::move(touched);
+std::vector<Neighbor> BrTree::SearchWarm(const DistanceFunction& dist, int k,
+                                         WarmStart& warm,
+                                         SearchStats* stats) const {
+  // Re-score the cached candidates with one batched kernel call (or reuse
+  // the stored distances on an exact metric-key match) — the scalar
+  // per-point rescoring loop this replaces did the same work one point at
+  // a time. The seed is only usable when ≥ k candidates are cached; the
+  // cached-leaf skip likewise requires every cached candidate to have been
+  // offered, so both gate on seed validity together.
+  const WarmStart::Seed seed = warm.Reseed(dist, k, *points_);
+  std::vector<Neighbor> touched;
+  std::unordered_set<int> touched_leaves;
+  SearchStats call_stats;
+  std::vector<Neighbor> result = SearchImpl(
+      dist, k, seed.valid() ? &seed : nullptr,
+      seed.valid() ? &warm.leaves() : nullptr, &touched, &touched_leaves,
+      &call_stats);
+  if (stats != nullptr) *stats += call_stats;
+  double pruned_frac = -1.0;
+  if (seed.valid() && !points_->empty()) {
+    // Fraction of the database never evaluated this round — tree pruning
+    // plus the leaf pages the cache made free.
+    const auto n = static_cast<double>(points_->size());
+    pruned_frac = (n - static_cast<double>(call_stats.distance_evaluations)) /
+                  n;
+  }
+  warm.Record(dist, touched);
+  warm.mutable_leaves() = std::move(touched_leaves);
+  FinishWarmSearch("index.br_tree", seed, result, pruned_frac);
   return result;
 }
 
-std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
-                                         const QueryCache* warm_cache,
-                                         QueryCache* touched,
-                                         SearchStats* stats) const {
+std::vector<Neighbor> BrTree::SearchImpl(
+    const DistanceFunction& dist, int k, const WarmStart::Seed* seed,
+    const std::unordered_set<int>* cached_leaves, std::vector<Neighbor>* touched,
+    std::unordered_set<int>* touched_leaves, SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   if (root_ < 0) return {};
   QCLUSTER_TRACE_SPAN(span, "index.br_tree.search");
   span.AddAttr("index", "br_tree");
   span.AddAttr("k", k);
-  span.AddAttr("warm", warm_cache != nullptr ? 1 : 0);
+  span.AddAttr("warm", seed != nullptr ? 1 : 0);
   QCLUSTER_TIMED("index.br_tree.search");
   SearchStats local;
 
@@ -124,21 +146,24 @@ std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
                : best.top().distance;
   };
 
-  // Warm start: re-score the previous iterations' candidates first (pure
+  // Warm start: offer the previous iterations' candidates first, already
+  // re-scored under this round's metric by WarmStart::Reseed (pure
   // in-memory work — their leaf pages are cached). The resulting k-th
   // distance bound prunes most of the refined query's tree, and cached
   // leaves are never fetched again. `warm_ids` guards against offering a
   // candidate twice when an uncached leaf overlaps the candidate set.
   std::unordered_set<int> warm_ids;
-  if (warm_cache != nullptr) {
-    warm_ids.reserve(warm_cache->candidates_.size());
-    for (int id : warm_cache->candidates_) {
-      if (!warm_ids.insert(id).second) continue;
-      offer(id, dist.Distance((*points_)[static_cast<std::size_t>(id)]));
-      ++local.distance_evaluations;
-      if (touched != nullptr) touched->candidates_.push_back(id);
+  if (seed != nullptr) {
+    warm_ids.reserve(seed->scored.size());
+    for (const Neighbor& c : seed->scored) {
+      if (!warm_ids.insert(c.id).second) continue;
+      offer(c.id, c.distance);
+      if (touched != nullptr) touched->push_back(c);
     }
-    if (touched != nullptr) touched->leaves_ = warm_cache->leaves_;
+    local.distance_evaluations += seed->evaluations;
+    if (touched_leaves != nullptr && cached_leaves != nullptr) {
+      *touched_leaves = *cached_leaves;
+    }
   }
 
   // Best-first traversal ordered by rectangle lower bounds.
@@ -164,17 +189,19 @@ std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
     if (node.IsLeaf()) {
       // A leaf whose page is in the iteration cache costs no IO and its
       // points were already offered during the warm phase.
-      if (warm_cache != nullptr && warm_cache->leaves_.contains(entry.node)) {
+      if (cached_leaves != nullptr && cached_leaves->contains(entry.node)) {
         continue;
       }
       ++local.leaves_visited;
-      if (touched != nullptr) touched->leaves_.insert(entry.node);
+      if (touched_leaves != nullptr) touched_leaves->insert(entry.node);
       for (int i = node.begin; i < node.end; ++i) {
         const int id = ids_[static_cast<std::size_t>(i)];
         if (!warm_ids.empty() && warm_ids.contains(id)) continue;
-        offer(id, dist.Distance((*points_)[static_cast<std::size_t>(id)]));
+        const double d =
+            dist.Distance((*points_)[static_cast<std::size_t>(id)]);
+        offer(id, d);
         ++local.distance_evaluations;
-        if (touched != nullptr) touched->candidates_.push_back(id);
+        if (touched != nullptr) touched->push_back(Neighbor{id, d});
       }
     } else {
       for (int child : {node.left, node.right}) {
@@ -192,7 +219,7 @@ std::vector<Neighbor> BrTree::SearchImpl(const DistanceFunction& dist, int k,
   }
   span.AddAttr("nodes_visited", local.nodes_visited);
   span.AddAttr("leaves_visited", local.leaves_visited);
-  if (warm_cache != nullptr) MetricAdd("index.br_tree.warm_searches");
+  if (seed != nullptr) MetricAdd("index.br_tree.warm_searches");
   FinishSearch("index.br_tree", local, stats);
   return result;
 }

@@ -20,37 +20,18 @@ namespace qcluster::index {
 ///
 /// Relevance-feedback refinement support: consecutive feedback iterations
 /// issue *similar* queries, and the multipoint approach of [7] amortizes
-/// work by reusing index information across iterations. `QueryCache` keeps
-/// the candidate set touched by the previous iteration; re-scoring it first
-/// yields a tight upper bound on the k-th distance, which prunes most node
-/// expansions of the refined query (measured in Fig. 7's cost comparison).
+/// work by reusing index information across iterations. The shared
+/// `index::WarmStart` session cache keeps the candidate set touched by the
+/// previous iteration (plus a BrTree-private set of fetched leaf pages);
+/// SearchWarm re-scores those candidates first — one batched kernel call,
+/// or free on an exact metric-key match — which yields a tight upper bound
+/// on the k-th distance, prunes most node expansions of the refined query
+/// (measured in Fig. 7's cost comparison), and never re-reads a cached
+/// leaf.
 class BrTree final : public KnnIndex {
  public:
   struct Options {
     int leaf_size = 32;  ///< Maximum points per leaf.
-  };
-
-  /// State carried between feedback iterations of one query session: the
-  /// candidate points scored so far and the leaf pages already fetched.
-  /// A warm-started search re-scores the candidates in memory and never
-  /// re-reads a cached leaf — the node-IO saving of the multipoint
-  /// refinement framework [7] that Fig. 7 measures.
-  class QueryCache {
-   public:
-    /// Candidate point ids retained from previous iterations.
-    const std::vector<int>& candidates() const { return candidates_; }
-    /// Leaf nodes whose contents the cache already holds.
-    int cached_leaf_count() const { return static_cast<int>(leaves_.size()); }
-    bool empty() const { return candidates_.empty(); }
-    void Clear() {
-      candidates_.clear();
-      leaves_.clear();
-    }
-
-   private:
-    friend class BrTree;
-    std::vector<int> candidates_;
-    std::unordered_set<int> leaves_;
   };
 
   /// Bulk-loads the tree over `points` (kept alive by the caller).
@@ -66,12 +47,12 @@ class BrTree final : public KnnIndex {
       const DistanceFunction& dist, int k,
       SearchStats* stats = nullptr) const override;
 
-  /// Best-first search warm-started from `cache` (cold when empty). On
-  /// return the cache holds this iteration's touched candidates, ready for
-  /// the next refinement step.
-  [[nodiscard]] std::vector<Neighbor> SearchCached(const DistanceFunction& dist, int k,
-                                     QueryCache& cache,
-                                     SearchStats* stats = nullptr) const;
+  /// Best-first search warm-started from `warm` (cold when empty). On
+  /// return the cache holds this iteration's touched candidates and leaf
+  /// pages, ready for the next refinement step.
+  [[nodiscard]] std::vector<Neighbor> SearchWarm(
+      const DistanceFunction& dist, int k, WarmStart& warm,
+      SearchStats* stats = nullptr) const override;
 
   /// Number of tree nodes (for tests).
   int node_count() const { return static_cast<int>(nodes_.size()); }
@@ -89,9 +70,17 @@ class BrTree final : public KnnIndex {
   };
 
   int Build(int begin, int end, int leaf_size);
+
+  /// Shared traversal body. `seed` (nullable) offers the re-scored cached
+  /// candidates before the descent and `cached_leaves` marks leaf pages
+  /// whose every point is among them (skipped without IO). `touched` /
+  /// `touched_leaves` (nullable) collect this iteration's scored
+  /// candidates and fetched leaves for the next round's cache.
   std::vector<Neighbor> SearchImpl(const DistanceFunction& dist, int k,
-                                   const QueryCache* warm_cache,
-                                   QueryCache* touched,
+                                   const WarmStart::Seed* seed,
+                                   const std::unordered_set<int>* cached_leaves,
+                                   std::vector<Neighbor>* touched,
+                                   std::unordered_set<int>* touched_leaves,
                                    SearchStats* stats) const;
 
   const std::vector<linalg::Vector>* points_;

@@ -35,6 +35,13 @@ struct QuadraticComponent {
   linalg::Vector diagonal;
   linalg::Matrix full;
   double weight = 1.0;  ///< mᵢ in the Eq. 5 combine; unused otherwise.
+
+  /// Exact structural equality — every entry compared bit for bit, never
+  /// hashed or tolerance-matched. Cross-round caches (the filter-refine
+  /// projection cache and index::WarmStart) key on it, so a stored artifact
+  /// is only ever reused under the *identical* metric.
+  friend bool operator==(const QuadraticComponent& a,
+                         const QuadraticComponent& b) = default;
 };
 
 /// The quadratic structure of a metric, as exposed to filter-and-refine
@@ -48,6 +55,10 @@ struct QuadraticDecomposition {
   std::vector<QuadraticComponent> components;
   bool harmonic = false;
   double total_weight = 0.0;  ///< Σ mᵢ when harmonic.
+
+  /// Exact structural equality (see QuadraticComponent::operator==).
+  friend bool operator==(const QuadraticDecomposition& a,
+                         const QuadraticDecomposition& b) = default;
 };
 
 /// A query-to-point dissimilarity measure, the abstraction the k-NN index

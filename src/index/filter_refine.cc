@@ -70,8 +70,9 @@ ThreadPool& FilterRefineIndex::pool() const {
 
 std::shared_ptr<const FilterRefineIndex::Projection>
 FilterRefineIndex::EnsureProjection(const QuadraticDecomposition& decomp,
-                                    int reduced) const {
+                                    int reduced, bool* reused) const {
   MutexLock lock(mu_);
+  if (reused != nullptr) *reused = false;
   if (cache_ != nullptr && cache_->reduced == reduced &&
       cache_->key_diagonals.size() == decomp.components.size()) {
     bool match = true;
@@ -84,7 +85,10 @@ FilterRefineIndex::EnsureProjection(const QuadraticDecomposition& decomp,
         match = cache_->key_diagonals[i] == c.diagonal;
       }
     }
-    if (match) return cache_;
+    if (match) {
+      if (reused != nullptr) *reused = true;
+      return cache_;
+    }
   }
 
   // The metric's covariance structure changed (a new feedback round refits
@@ -148,12 +152,27 @@ FilterRefineIndex::EnsureProjection(const QuadraticDecomposition& decomp,
 std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
                                                 int k,
                                                 SearchStats* stats) const {
+  return SearchImpl(dist, k, /*warm=*/nullptr, stats);
+}
+
+std::vector<Neighbor> FilterRefineIndex::SearchWarm(const DistanceFunction& dist,
+                                                    int k, WarmStart& warm,
+                                                    SearchStats* stats) const {
+  return SearchImpl(dist, k, &warm, stats);
+}
+
+std::vector<Neighbor> FilterRefineIndex::SearchImpl(const DistanceFunction& dist,
+                                                    int k, WarmStart* warm,
+                                                    SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   QuadraticDecomposition decomp;
   if (!dist.Decompose(&decomp) || decomp.components.empty()) {
-    // Opaque metric: no quadratic structure to lower-bound, scan everything.
+    // Opaque metric: no quadratic structure to lower-bound, scan everything
+    // — warm-started when a session cache rides along, so even the fallback
+    // keeps recording survivors and pruning at θ₀.
     MetricAdd("index.filter_refine.fallbacks");
-    return fallback_.Search(dist, k, stats);
+    return warm != nullptr ? fallback_.SearchWarm(dist, k, *warm, stats)
+                           : fallback_.Search(dist, k, stats);
   }
   QCLUSTER_CHECK(decomp.harmonic || decomp.components.size() == 1);
 
@@ -168,19 +187,29 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
   const std::size_t n = view_.n;
   if (n == 0) {
     FinishSearch("index.filter_refine", SearchStats{}, stats);
+    if (warm != nullptr) warm->Record(dist, {});
     return {};
   }
   QCLUSTER_CHECK(dist.dim() == view_.dim);
   const int reduced = reduced_dims(view_.dim);
   span.AddAttr("reduced", reduced);
   span.AddAttr("components", decomp.components.size());
+  bool projection_reused = false;
   const std::shared_ptr<const Projection> proj =
-      EnsureProjection(decomp, reduced);
+      EnsureProjection(decomp, reduced, &projection_reused);
   if (!proj->usable) {
     MetricAdd("index.filter_refine.fallbacks");
-    return fallback_.Search(dist, k, stats);
+    return warm != nullptr ? fallback_.SearchWarm(dist, k, *warm, stats)
+                           : fallback_.Search(dist, k, stats);
   }
   ThreadPool& tp = pool();
+
+  // Warm seed: re-score the previous round's survivors under this round's
+  // metric before the scan. θ₀ is a certified upper bound on the true k-th
+  // distance, usually far tighter than the filter's own seed bound.
+  const WarmStart::Seed warm_seed =
+      warm != nullptr ? warm->Reseed(dist, k, view_) : WarmStart::Seed{};
+  span.AddAttr("warm", warm_seed.valid() ? 1 : 0);
 
   // Project each component's query point into its reduced coordinates once.
   const std::size_t comps = decomp.components.size();
@@ -232,9 +261,25 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
   // Seed: refine the k best lower-bound candidates exactly. They are real
   // database points, so their worst exact distance θ upper-bounds the true
   // k-th neighbor distance.
+  //
+  // On a metric-stable round (the projection cache matched, so only the
+  // query moved) a valid warm certificate replaces the seed phase outright:
+  // θ₀ is the k-th exact distance over last round's survivors re-scored
+  // under *this* round's metric — a bound of exactly the seed phase's kind,
+  // already in hand, and under query drift typically tighter than what the
+  // reduced-space ranking would bootstrap. Any valid upper bound keeps the
+  // survivor test exact (every true neighbor's lower bound is ≤ its exact
+  // distance ≤ θ), so the returned top-k is byte-identical either way.
+  // When the metric itself changed we keep the seed phase: θ₀ is still
+  // certified but may be arbitrarily loose, and the seed bound caps the
+  // refine cost.
+  const bool skip_seed = warm_seed.valid() && projection_reused;
+  span.AddAttr("seed_skipped", skip_seed ? 1 : 0);
   std::vector<Neighbor> seeds;
-  double theta = 0.0;
-  {
+  double theta = skip_seed ? warm_seed.theta0 : 0.0;
+  if (skip_seed) {
+    MetricAdd("index.filter_refine.warm.seed_skips");
+  } else {
     QCLUSTER_TRACE_SPAN(seed_span, "index.filter_refine.seed");
     BoundedTopK seed_top(std::min(k, static_cast<int>(n)));
     for (std::size_t i = 0; i < n; ++i) {
@@ -264,6 +309,15 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
 #endif
   }
 
+  // Warm tightening: both θ_seed and θ₀ upper-bound the true k-th distance
+  // (the seeds and the cached survivors are real database points scored
+  // exactly), so their min is an equally valid — and usually tighter —
+  // survivor bound. Pruning below stays exact for the same reason as cold.
+  const double theta_seed = theta;
+  if (!skip_seed && warm_seed.valid()) {
+    theta = std::min(theta, warm_seed.theta0);
+  }
+
   // Survivors: every point whose lower bound cannot rule it out at θ. A θ
   // of exactly zero leaves the relative slack no room (a true zero-distance
   // point can carry an epsilon-positive computed bound), so refine
@@ -273,12 +327,30 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
     survivors.resize(n);
     for (std::size_t i = 0; i < n; ++i) survivors[i] = static_cast<int>(i);
   } else {
-    survivors.reserve(seeds.size() * 4);
+    survivors.reserve(static_cast<std::size_t>(std::min<long long>(k, static_cast<long long>(n))) * 4);
     for (std::size_t i = 0; i < n; ++i) {
       if (lbs[i] * kLowerBoundSlack <= theta) {
         survivors.push_back(static_cast<int>(i));
       }
     }
+  }
+
+  // Extra pruning the warm certificate bought beyond the cold θ_seed cut —
+  // the per-round win the warm.pruned_frac metric reports (the recount
+  // only runs when the registry is on; it is an observability statistic).
+  // When the seed phase was skipped there is no θ_seed to compare against,
+  // so the gauge stays unrecorded — the seed_skips counter tells the story.
+  double warm_pruned_frac = -1.0;
+  if (metrics && !skip_seed && warm_seed.valid() && theta_seed > 0.0 &&
+      theta < theta_seed) {
+    std::size_t cold_survivors = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lbs[i] * kLowerBoundSlack <= theta_seed) ++cold_survivors;
+    }
+    warm_pruned_frac = static_cast<double>(cold_survivors - survivors.size()) /
+                       static_cast<double>(n);
+  } else if (warm_seed.valid() && !skip_seed) {
+    warm_pruned_frac = 0.0;
   }
 
   // Refine: exact full-dimension distances for the survivors only, gathered
@@ -337,7 +409,8 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
   }
 
   SearchStats local;
-  local.distance_evaluations = static_cast<long long>(seeds.size() + m);
+  local.distance_evaluations =
+      static_cast<long long>(seeds.size() + m) + warm_seed.evaluations;
   FinishSearch("index.filter_refine", local, stats);
   if (metrics) {
     MetricAdd("index.filter_refine.candidates", static_cast<long long>(m));
@@ -351,7 +424,10 @@ std::vector<Neighbor> FilterRefineIndex::Search(const DistanceFunction& dist,
                    static_cast<double>(n) / seconds);
     }
   }
-  return TopK(std::move(merged), k);
+  std::vector<Neighbor> result = TopK(std::move(merged), k);
+  if (warm != nullptr) warm->Record(dist, result);
+  FinishWarmSearch("index.filter_refine", warm_seed, result, warm_pruned_frac);
+  return result;
 }
 
 }  // namespace qcluster::index

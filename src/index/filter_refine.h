@@ -72,6 +72,17 @@ class FilterRefineIndex final : public KnnIndex {
       const DistanceFunction& dist, int k,
       SearchStats* stats = nullptr) const override;
 
+  /// Warm-started search: the previous round's survivors are re-scored for
+  /// a certified θ₀, and the survivor cut uses min(θ_seed, θ₀) — the warm
+  /// certificate is usually much tighter than the filter's own seed bound
+  /// (the cached ids were the *exact* top-k of a nearby metric, the seeds
+  /// only the best reduced-space bounds), so the refine phase shrinks while
+  /// the result stays byte-identical. Opaque/uncertified metrics warm-start
+  /// the exhaustive fallback instead.
+  [[nodiscard]] std::vector<Neighbor> SearchWarm(
+      const DistanceFunction& dist, int k, WarmStart& warm,
+      SearchStats* stats = nullptr) const override;
+
   /// Number of times the cached projected block has been (re)built — one
   /// per distinct covariance structure seen (exposed for tests).
   long long rebuilds() const;
@@ -91,8 +102,21 @@ class FilterRefineIndex final : public KnnIndex {
     bool usable = true;
   };
 
+  /// `*reused` (optional) reports whether the cached projection matched —
+  /// i.e. the metric's covariance structure is unchanged since the last
+  /// search on this index.
   std::shared_ptr<const Projection> EnsureProjection(
-      const QuadraticDecomposition& decomp, int reduced) const;
+      const QuadraticDecomposition& decomp, int reduced,
+      bool* reused = nullptr) const;
+
+  /// Shared pipeline body. When `warm` is non-null the survivor bound is
+  /// tightened to min(θ_seed, θ₀), this round's result is recorded back
+  /// into the cache, and fallbacks warm-start the exhaustive scan. On a
+  /// metric-stable round (projection reused) a valid warm certificate
+  /// replaces the seed phase outright — θ₀ alone prunes, saving the seed
+  /// top-k sweep and its k exact refinements.
+  std::vector<Neighbor> SearchImpl(const DistanceFunction& dist, int k,
+                                   WarmStart* warm, SearchStats* stats) const;
 
   ThreadPool& pool() const;
 

@@ -1,6 +1,8 @@
 #ifndef QCLUSTER_INDEX_KNN_H_
 #define QCLUSTER_INDEX_KNN_H_
 
+#include <limits>
+#include <unordered_set>
 #include <vector>
 
 #include "index/distance.h"
@@ -39,6 +41,95 @@ struct SearchStats {
 void FinishSearch(const char* index_name, const SearchStats& delta,
                   SearchStats* out);
 
+/// Session-resident cross-round candidate cache. Relevance feedback makes
+/// round t+1's metric a small perturbation of round t's, so the previous
+/// round's survivors are near-optimal candidates for the next pass: before
+/// scanning, an index re-scores them under the *new* metric — the k-th
+/// smallest of those exact distances is a certified upper bound θ₀ on the
+/// true k-th-NN distance (the k-th smallest over any ≥k-point subset can
+/// only overestimate the k-th smallest over the full database). Pruning
+/// anything whose distance or lower bound is *strictly greater* than θ₀ is
+/// therefore exact, and ties at θ₀ survive, so warm results stay
+/// byte-identical to the cold path.
+///
+/// Invalidation: Record stores the recording metric's full
+/// QuadraticDecomposition as the cache key; Reseed reuses the stored
+/// distances only when the current metric's decomposition compares equal —
+/// exact structural equality, the same scheme as the filter-refine
+/// projection cache — and otherwise re-scores every cached id with one
+/// DistanceBatch call. Opaque metrics (Decompose → false) never store a key
+/// and never match, so a stale distance can never be served by
+/// construction; at worst the cache pays |ids| fresh evaluations.
+///
+/// Thread safety: externally synchronized. The engine owns one WarmStart
+/// per session and RetrievalSession guards the engine with its mutex; the
+/// re-scoring scratch inside Reseed is thread_local.
+class WarmStart {
+ public:
+  /// One round's attempt to warm-start a search from the cache.
+  struct Seed {
+    /// Cached survivors scored under the current metric (stored id order).
+    std::vector<Neighbor> scored;
+    /// Certified upper bound on the true k-th distance; +inf when the cache
+    /// held fewer than k candidates (warm path disabled, cold-equivalent).
+    double theta0 = std::numeric_limits<double>::infinity();
+    long long evaluations = 0;  ///< Exact evaluations spent re-scoring.
+    bool reused = false;        ///< Metric key matched; stored distances reused.
+
+    bool valid() const { return !scored.empty(); }
+  };
+
+  bool empty() const { return ids_.empty(); }
+  int size() const { return static_cast<int>(ids_.size()); }
+  const std::vector<int>& ids() const { return ids_; }
+  bool has_key() const { return has_key_; }
+
+  /// Drops all cached state (candidates, metric key, leaf payload).
+  void Clear();
+
+  /// Replaces the cached candidates with `scored` — one round's survivors
+  /// with their exact distances under `dist` — and stores `dist`'s
+  /// decomposition as the reuse key (no key for opaque metrics). Resets the
+  /// BrTree leaf payload; BrTree re-installs its own after recording.
+  void Record(const DistanceFunction& dist, const std::vector<Neighbor>& scored);
+
+  /// Seeds the next round: re-scores the cached candidates under `dist`
+  /// (or reuses the stored distances on an exact metric-key match) and
+  /// certifies θ₀ as the k-th smallest of those exact distances. Returns an
+  /// invalid Seed when fewer than k candidates are cached. `rows` must be
+  /// the same database the ids were recorded against.
+  Seed Reseed(const DistanceFunction& dist, int k,
+              const linalg::FlatView& rows) const;
+  Seed Reseed(const DistanceFunction& dist, int k,
+              const std::vector<linalg::Vector>& rows) const;
+
+  /// BrTree-private payload: leaf pages whose every entry is already in
+  /// ids(), safe to skip when the seed re-offers all cached candidates.
+  std::unordered_set<int>& mutable_leaves() { return leaves_; }
+  const std::unordered_set<int>& leaves() const { return leaves_; }
+
+ private:
+  Seed SeedFromScores(int k, std::vector<Neighbor> scored, long long evals,
+                      bool reused) const;
+  bool KeyMatches(const DistanceFunction& dist) const;
+
+  std::vector<int> ids_;
+  std::vector<double> distances_;
+  bool has_key_ = false;
+  QuadraticDecomposition key_;
+  std::unordered_set<int> leaves_;
+};
+
+/// Folds one warm-started search's outcome into the metrics registry:
+/// `<index_name>.warm.hits` counts searches seeded with a finite θ₀,
+/// `<index_name>.warm.seed_theta_ratio` records θ₀ ÷ the final exact k-th
+/// distance (≥ 1; 1.0 = the certificate was perfectly tight), and
+/// `<index_name>.warm.pruned_frac` records the fraction of work the θ₀
+/// bound let the index skip (index-specific denominator, see each
+/// SearchWarm override). No-op when the seed was invalid.
+void FinishWarmSearch(const char* index_name, const WarmStart::Seed& seed,
+                      const std::vector<Neighbor>& result, double pruned_frac);
+
 /// Interface of a k-nearest-neighbor search structure over an immutable
 /// point database. Implementations must return results sorted by ascending
 /// distance with stable id tiebreak.
@@ -56,6 +147,17 @@ class KnnIndex {
   [[nodiscard]] virtual std::vector<Neighbor> Search(
       const DistanceFunction& dist, int k,
       SearchStats* stats = nullptr) const = 0;
+
+  /// Warm-started search: seeds a θ₀ pruning bound from `warm` (the
+  /// previous round's survivors) and records this round's survivors back
+  /// into it for the next round. Results are byte-identical to Search —
+  /// θ₀ only tightens an exact bound — across metrics, thread counts, and
+  /// SIMD tiers. The default forwards to Search and records the result, so
+  /// every index keeps the session cache fresh even without a warm fast
+  /// path of its own.
+  [[nodiscard]] virtual std::vector<Neighbor> SearchWarm(
+      const DistanceFunction& dist, int k, WarmStart& warm,
+      SearchStats* stats = nullptr) const;
 };
 
 }  // namespace qcluster::index

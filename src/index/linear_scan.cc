@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "common/check.h"
 #include "common/metrics.h"
@@ -59,25 +60,56 @@ LinearScanIndex::LinearScanIndex(linalg::FlatView view, ThreadPool* pool)
 
 std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
                                               int k, SearchStats* stats) const {
+  return SearchImpl(dist, k, /*seed=*/nullptr, /*rejected_out=*/nullptr, stats);
+}
+
+std::vector<Neighbor> LinearScanIndex::SearchWarm(const DistanceFunction& dist,
+                                                  int k, WarmStart& warm,
+                                                  SearchStats* stats) const {
+  const WarmStart::Seed seed = warm.Reseed(dist, k, view_);
+  long long rejected = 0;
+  std::vector<Neighbor> result =
+      SearchImpl(dist, k, seed.valid() ? &seed : nullptr, &rejected, stats);
+  warm.Record(dist, result);
+  FinishWarmSearch("index.linear_scan", seed, result,
+                   view_.n > 0 ? static_cast<double>(rejected) /
+                                     static_cast<double>(view_.n)
+                               : -1.0);
+  return result;
+}
+
+std::vector<Neighbor> LinearScanIndex::SearchImpl(
+    const DistanceFunction& dist, int k, const WarmStart::Seed* seed,
+    long long* rejected_out, SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   QCLUSTER_TRACE_SPAN(span, "index.linear_scan.search");
   span.AddAttr("index", "linear_scan");
   span.AddAttr("k", k);
   span.AddAttr("n", view_.n);
+  span.AddAttr("warm", seed != nullptr ? 1 : 0);
   QCLUSTER_TIMED("index.linear_scan.search");
   const bool metrics = MetricsEnabled();
   const auto start = metrics ? std::chrono::steady_clock::now()
                              : std::chrono::steady_clock::time_point{};
 
   const std::size_t n = view_.n;
+  // θ₀ from the warm seed: an exact upper bound on the final k-th distance.
+  // Any point scoring strictly above it cannot enter the merged top-k, so
+  // rejecting it before heap admission never changes the result; ties at θ₀
+  // are still offered. +inf on the cold path keeps one code path.
+  const double theta0 = seed != nullptr
+                            ? seed->theta0
+                            : std::numeric_limits<double>::infinity();
   std::vector<Neighbor> merged;
   int shards = 0;
+  long long rejected = 0;
   if (n > 0) {
     QCLUSTER_CHECK(dist.dim() == view_.dim);
     ThreadPool& pool = pool_ != nullptr ? *pool_ : ThreadPool::Global();
     shards = pool.ShardCount(n, kMinShardPoints);
     std::vector<std::vector<Neighbor>> shard_top(
         static_cast<std::size_t>(shards));
+    std::vector<long long> shard_rejected(static_cast<std::size_t>(shards), 0);
     pool.ParallelFor(
         n, kMinShardPoints,
         [&](int shard, std::size_t begin, std::size_t end) {
@@ -87,9 +119,15 @@ std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
           scores.resize(end - begin);
           dist.DistanceBatch(view_.Slice(begin, end), scores.data());
           BoundedTopK top(k);
+          long long skipped = 0;
           for (std::size_t j = 0; j < scores.size(); ++j) {
+            if (scores[j] > theta0) {
+              ++skipped;
+              continue;
+            }
             top.Push(Neighbor{static_cast<int>(begin + j), scores[j]});
           }
+          shard_rejected[static_cast<std::size_t>(shard)] = skipped;
           shard_top[static_cast<std::size_t>(shard)] =
               std::move(top).TakeSorted();
           QCLUSTER_AUDIT(core::ValidateSortedNeighbors(
@@ -104,11 +142,14 @@ std::vector<Neighbor> LinearScanIndex::Search(const DistanceFunction& dist,
     for (auto& t : shard_top) {
       merged.insert(merged.end(), t.begin(), t.end());
     }
+    for (const long long r : shard_rejected) rejected += r;
   }
+  if (rejected_out != nullptr) *rejected_out = rejected;
 
   span.AddAttr("shards", shards);
   SearchStats local;
-  local.distance_evaluations = static_cast<long long>(n);
+  local.distance_evaluations =
+      static_cast<long long>(n) + (seed != nullptr ? seed->evaluations : 0);
   FinishSearch("index.linear_scan", local, stats);
   if (metrics && n > 0) {
     const double seconds =

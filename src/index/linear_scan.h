@@ -36,7 +36,22 @@ class LinearScanIndex final : public KnnIndex {
       const DistanceFunction& dist, int k,
       SearchStats* stats = nullptr) const override;
 
+  /// Warm-started scan: re-scores the previous round's survivors for a
+  /// certified θ₀, then rejects candidates with distance > θ₀ before heap
+  /// admission in every shard. Byte-identical to Search — rejected points
+  /// can never reach the merged top-k.
+  [[nodiscard]] std::vector<Neighbor> SearchWarm(
+      const DistanceFunction& dist, int k, WarmStart& warm,
+      SearchStats* stats = nullptr) const override;
+
  private:
+  /// Shared scan body; `seed` (nullable) supplies the θ₀ admission bound
+  /// and `rejected_out` (nullable) receives the count of points it skipped.
+  std::vector<Neighbor> SearchImpl(const DistanceFunction& dist, int k,
+                                   const WarmStart::Seed* seed,
+                                   long long* rejected_out,
+                                   SearchStats* stats) const;
+
   linalg::FlatBlock owned_;  ///< Packed copy when built from vectors.
   linalg::FlatView view_;
   ThreadPool* const pool_;   ///< nullptr = ThreadPool::Global().

@@ -68,12 +68,44 @@ void VaFile::CellRectInto(int i, Rect* rect) const {
 
 std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
                                      SearchStats* stats) const {
+  return SearchImpl(dist, k, /*seed=*/nullptr, stats);
+}
+
+std::vector<Neighbor> VaFile::SearchWarm(const DistanceFunction& dist, int k,
+                                         WarmStart& warm,
+                                         SearchStats* stats) const {
+  const WarmStart::Seed seed = warm.Reseed(dist, k, *points_);
+  // Capture this call's cost separately (caller stats accumulate across
+  // calls) so pruned_frac reflects this walk alone.
+  SearchStats call_stats;
+  std::vector<Neighbor> result =
+      SearchImpl(dist, k, seed.valid() ? &seed : nullptr, &call_stats);
+  if (stats != nullptr) *stats += call_stats;
+  warm.Record(dist, result);
+  // pruned_frac: fraction of the database whose exact refinement this
+  // θ₀-tightened walk skipped (phase 1's bound scan still covers all n).
+  double pruned_frac = -1.0;
+  if (seed.valid() && !points_->empty()) {
+    const auto n = static_cast<double>(points_->size());
+    pruned_frac =
+        (n - static_cast<double>(call_stats.distance_evaluations -
+                                 seed.evaluations)) /
+        n;
+  }
+  FinishWarmSearch("index.va_file", seed, result, pruned_frac);
+  return result;
+}
+
+std::vector<Neighbor> VaFile::SearchImpl(const DistanceFunction& dist, int k,
+                                         const WarmStart::Seed* seed,
+                                         SearchStats* stats) const {
   QCLUSTER_CHECK(k > 0);
   if (points_->empty()) return {};
   QCLUSTER_TRACE_SPAN(span, "index.va_file.search");
   span.AddAttr("index", "va_file");
   span.AddAttr("k", k);
   span.AddAttr("n", points_->size());
+  span.AddAttr("warm", seed != nullptr ? 1 : 0);
   QCLUSTER_TIMED("index.va_file.search");
   const bool metrics = MetricsEnabled();
   const auto start = metrics ? std::chrono::steady_clock::now()
@@ -129,7 +161,14 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
             });
 
   // Phase 2 (VA-SSA): visit by increasing bound; stop once the bound
-  // exceeds the current k-th exact distance.
+  // exceeds the current k-th exact distance — or, when warm-started, the
+  // certified θ₀ from the previous round. θ₀ ≥ the true k-th distance and
+  // ≥ k candidates carry a bound ≤ θ₀ (the cached survivors themselves), so
+  // stopping there can only trim candidates the cold walk would also have
+  // rejected; the result is byte-identical.
+  const double theta0 = seed != nullptr
+                            ? seed->theta0
+                            : std::numeric_limits<double>::infinity();
   const auto cmp = [](const Neighbor& a, const Neighbor& b) {
     if (a.distance != b.distance) return a.distance < b.distance;
     return a.id < b.id;
@@ -138,6 +177,7 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
       cmp);
   QCLUSTER_TRACE_SPAN(ssa_span, "index.va_file.ssa");
   for (const Candidate& c : candidates) {
+    if (c.bound > theta0) break;
     if (static_cast<int>(best.size()) >= k && c.bound > best.top().distance) {
       break;
     }
@@ -159,6 +199,7 @@ std::vector<Neighbor> VaFile::Search(const DistanceFunction& dist, int k,
     best.pop();
   }
   ssa_span.AddAttr("visited", local.distance_evaluations);
+  if (seed != nullptr) local.distance_evaluations += seed->evaluations;
   FinishSearch("index.va_file", local, stats);
   return result;
 }

@@ -44,10 +44,25 @@ class VaFile final : public KnnIndex {
       const DistanceFunction& dist, int k,
       SearchStats* stats = nullptr) const override;
 
+  /// Warm-started VA-SSA: the certified θ₀ from the previous round's
+  /// survivors becomes an *additional* stop condition on the bound-sorted
+  /// candidate walk — instead of recomputing the pruning bound from scratch,
+  /// phase 2 halts as soon as a cell bound exceeds θ₀ (every later bound is
+  /// larger still, and ≥ k candidates with bound ≤ θ₀ precede it). Results
+  /// stay byte-identical to the cold walk, which only stops later.
+  [[nodiscard]] std::vector<Neighbor> SearchWarm(
+      const DistanceFunction& dist, int k, WarmStart& warm,
+      SearchStats* stats = nullptr) const override;
+
   /// Bytes used by the approximation array (for compression reporting).
   std::size_t approximation_bytes() const { return cells_.size(); }
 
  private:
+  /// Shared search body; `seed` (nullable) supplies the θ₀ stop bound.
+  std::vector<Neighbor> SearchImpl(const DistanceFunction& dist, int k,
+                                   const WarmStart::Seed* seed,
+                                   SearchStats* stats) const;
+
   /// Writes the bounding rectangle of point i's grid cell into `rect`
   /// (whose lo/hi must already have the right size — reused across points
   /// so the bound scan never allocates).

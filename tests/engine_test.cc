@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "index/br_tree.h"
 #include "index/linear_scan.h"
 
 namespace qcluster::core {

@@ -1,7 +1,8 @@
-// Tests for features beyond the paper's core algorithms: the query-cache
-// IO model of the BR-tree (Fig. 7's multipoint refinement saving),
-// covariance shrinkage in the disjunctive metric, and the Box's M
-// homogeneity guard in the merging stage.
+// Tests for features beyond the paper's core algorithms: the warm-start
+// IO model of the BR-tree (Fig. 7's multipoint refinement saving, carried
+// by the shared index::WarmStart session cache), covariance shrinkage in
+// the disjunctive metric, and the Box's M homogeneity guard in the merging
+// stage.
 
 #include <gtest/gtest.h>
 
@@ -29,18 +30,18 @@ TEST(QueryCacheTest, WarmSearchSkipsCachedLeafReads) {
   const std::vector<Vector> pts = RandomPoints(4000, 3, rng);
   const index::BrTree tree(&pts);
 
-  index::BrTree::QueryCache cache;
+  index::WarmStart warm;
   const index::EuclideanDistance q1(pts[0]);
   index::SearchStats cold;
   // Cold run executed to populate the cache and cost counters only.
-  DiscardResult(tree.SearchCached(q1, 50, cache, &cold));
+  DiscardResult(tree.SearchWarm(q1, 50, warm, &cold));
   EXPECT_GT(cold.leaves_visited, 0);
-  EXPECT_GT(cache.cached_leaf_count(), 0);
+  EXPECT_GT(warm.leaves().size(), 0u);
 
   // The *same* query warm-started must hit only cached leaves: zero IO.
-  index::SearchStats warm;
-  const auto warm_result = tree.SearchCached(q1, 50, cache, &warm);
-  EXPECT_EQ(warm.leaves_visited, 0);
+  index::SearchStats warm_stats;
+  const auto warm_result = tree.SearchWarm(q1, 50, warm, &warm_stats);
+  EXPECT_EQ(warm_stats.leaves_visited, 0);
   EXPECT_EQ(warm_result, tree.Search(q1, 50));
 }
 
@@ -49,35 +50,35 @@ TEST(QueryCacheTest, RefinedQueryStaysExactWithFewReads) {
   const std::vector<Vector> pts = RandomPoints(4000, 3, rng);
   const index::BrTree tree(&pts);
 
-  index::BrTree::QueryCache cache;
+  index::WarmStart warm;
   const index::EuclideanDistance q1(pts[0]);
   index::SearchStats cold;
   // Cold run executed to populate the cache and cost counters only.
-  DiscardResult(tree.SearchCached(q1, 50, cache, &cold));
+  DiscardResult(tree.SearchWarm(q1, 50, warm, &cold));
 
   Vector moved = pts[0];
   moved[0] += 0.1;  // A slightly refined query.
   const index::EuclideanDistance q2(moved);
-  index::SearchStats warm;
-  const auto warm_result = tree.SearchCached(q2, 50, cache, &warm);
+  index::SearchStats warm_stats;
+  const auto warm_result = tree.SearchWarm(q2, 50, warm, &warm_stats);
   EXPECT_EQ(warm_result, tree.Search(q2, 50));  // Exactness preserved.
-  EXPECT_LE(warm.leaves_visited, cold.leaves_visited);
+  EXPECT_LE(warm_stats.leaves_visited, cold.leaves_visited);
 }
 
 TEST(QueryCacheTest, CacheAccumulatesAcrossIterations) {
   Rng rng(243);
   const std::vector<Vector> pts = RandomPoints(2000, 2, rng);
   const index::BrTree tree(&pts);
-  index::BrTree::QueryCache cache;
-  int previous = 0;
+  index::WarmStart warm;
+  std::size_t previous = 0;
   for (int it = 0; it < 4; ++it) {
     Vector q = pts[0];
     q[0] += 0.05 * it;
     // Each round is run to accumulate cached leaves; only the cache growth
     // is under test.
-    DiscardResult(tree.SearchCached(index::EuclideanDistance(q), 30, cache));
-    EXPECT_GE(cache.cached_leaf_count(), previous);
-    previous = cache.cached_leaf_count();
+    DiscardResult(tree.SearchWarm(index::EuclideanDistance(q), 30, warm));
+    EXPECT_GE(warm.leaves().size(), previous);
+    previous = warm.leaves().size();
   }
 }
 

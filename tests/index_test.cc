@@ -161,16 +161,17 @@ TEST(BrTreeTest, CachedSearchSameResultsLessWork) {
   const std::vector<Vector> pts = RandomPoints(5000, 3, rng);
   const BrTree tree(&pts);
 
-  BrTree::QueryCache cache;
+  WarmStart warm_state;
   const EuclideanDistance q1(rng.GaussianVector(3));
   SearchStats cold_stats;
-  const auto cold = tree.SearchCached(q1, 10, cache, &cold_stats);
+  const auto cold = tree.SearchWarm(q1, 10, warm_state, &cold_stats);
   EXPECT_EQ(cold, tree.Search(q1, 10));
+  EXPECT_GE(warm_state.size(), 10);
 
   // A slightly refined query (as in a feedback iteration).
   const EuclideanDistance q2(linalg::Add(rng.GaussianVector(3), {0.05, 0, 0}));
   SearchStats warm_stats;
-  const auto warm = tree.SearchCached(q2, 10, cache, &warm_stats);
+  const auto warm = tree.SearchWarm(q2, 10, warm_state, &warm_stats);
   EXPECT_EQ(warm, tree.Search(q2, 10));  // Exactness is preserved.
 }
 

@@ -1,0 +1,377 @@
+// Warm-vs-cold exactness for the cross-round candidate cache: every exact
+// index path warm-started from an index::WarmStart must return *exactly*
+// (bit for bit, ties included) what the cold search returns — across every
+// metric family, metric-changing feedback rounds, thread counts, and SIMD
+// dispatch tiers. The data is deliberately tie-heavy (coarse grid plus
+// exact duplicate points) so any pruning rule that drops a tied candidate
+// shows up as an ordering or membership diff.
+//
+// The invalidation contract is also pinned down at the unit level: a seed
+// is reused without re-scoring only on exact structural equality of the
+// metric's quadratic decomposition; a covariance update (or any parameter
+// change) forces a re-score under the new metric, and an opaque metric
+// never stores a key at all — stale-seed use is impossible by construction,
+// not by tolerance.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/cluster.h"
+#include "core/disjunctive_distance.h"
+#include "index/br_tree.h"
+#include "index/filter_refine.h"
+#include "index/linear_scan.h"
+#include "index/r_tree.h"
+#include "index/va_file.h"
+#include "linalg/simd.h"
+
+namespace qcluster {
+namespace {
+
+using core::Cluster;
+using core::DisjunctiveDistance;
+using index::DistanceFunction;
+using index::KnnIndex;
+using index::Neighbor;
+using linalg::Vector;
+using linalg::simd::Tier;
+
+constexpr int kDim = 8;
+constexpr int kK = 25;
+
+/// Tie-heavy feature set: coordinates snapped to a coarse grid and every
+/// unique point stored three times, so the k-th distance is almost always
+/// shared by several candidates and the (distance, id) tiebreak is load-
+/// bearing in every search.
+const std::vector<Vector>& TieHeavyPoints() {
+  static const auto* pts = [] {
+    Rng rng(811);
+    auto* out = new std::vector<Vector>();
+    for (int i = 0; i < 150; ++i) {
+      Vector p(kDim);
+      for (double& x : p) x = 0.5 * std::round(rng.Uniform(-4.0, 4.0) * 2.0);
+      out->push_back(p);
+      out->push_back(p);  // Exact duplicates: guaranteed distance ties.
+      out->push_back(p);
+    }
+    return out;
+  }();
+  return *pts;
+}
+
+/// Forwards a base metric's values but keeps the DistanceFunction defaults
+/// for MinDistance (no pruning) and Decompose (false): the opaque-metric
+/// case, where WarmStart can never store a key and must re-score always.
+class OpaqueMetric final : public DistanceFunction {
+ public:
+  explicit OpaqueMetric(const DistanceFunction* base) : base_(base) {}
+  int dim() const override { return base_->dim(); }
+  double Distance(const Vector& x) const override { return base_->Distance(x); }
+  double DistanceRow(const double* x) const override {
+    return base_->DistanceRow(x);
+  }
+  void DistanceBatch(const linalg::FlatView& view, double* out) const override {
+    base_->DistanceBatch(view, out);
+  }
+
+ private:
+  const DistanceFunction* base_;
+};
+
+/// Disjunctive metric whose clusters summarize `members` points of the
+/// tie-heavy set starting at `offset`; different offsets/counts change the
+/// cluster covariances, which is exactly the cross-round invalidation case.
+DisjunctiveDistance MakeDisjunctive(int offset, int members) {
+  const auto& pts = TieHeavyPoints();
+  std::vector<Cluster> clusters;
+  for (int c = 0; c < 3; ++c) {
+    Cluster cluster(kDim);
+    for (int i = 0; i < members; ++i) {
+      cluster.Add(pts[static_cast<std::size_t>(
+                      (offset + c * 120 + i) % static_cast<int>(pts.size()))],
+                  1.0);
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return DisjunctiveDistance(clusters, stats::CovarianceScheme::kDiagonal,
+                             1e-4);
+}
+
+/// A feedback session's metric sequence for one metric family: four rounds
+/// whose parameters drift, then a fifth that repeats round 1 exactly
+/// (rebuilt from the same inputs), so both the re-score path (key mismatch)
+/// and the reuse path (bitwise key match) run inside every session.
+std::vector<std::unique_ptr<DistanceFunction>> MetricRounds(
+    const std::string& family) {
+  const auto& pts = TieHeavyPoints();
+  std::vector<std::unique_ptr<DistanceFunction>> rounds;
+  Rng rng(407);
+  if (family == "euclidean") {
+    for (int t = 0; t < 4; ++t) {
+      Vector q = pts[static_cast<std::size_t>(3 * t)];
+      q[0] += 0.05 * t;
+      rounds.push_back(std::make_unique<index::EuclideanDistance>(q));
+    }
+    Vector q = pts[3];
+    q[0] += 0.05;
+    rounds.push_back(std::make_unique<index::EuclideanDistance>(q));
+  } else if (family == "weighted") {
+    for (int t = 0; t < 5; ++t) {
+      Vector w(kDim);
+      const int drift = t == 4 ? 1 : t;  // Round 4 repeats round 1.
+      for (int d = 0; d < kDim; ++d) w[d] = 1.0 + 0.25 * ((d + drift) % 4);
+      rounds.push_back(std::make_unique<index::WeightedEuclideanDistance>(
+          pts[static_cast<std::size_t>(drift)], w));
+    }
+  } else if (family == "mahalanobis_diag" || family == "mahalanobis_full") {
+    const bool full = family == "mahalanobis_full";
+    linalg::Matrix g(kDim, kDim);
+    for (int r = 0; r < kDim; ++r) {
+      for (int c = 0; c < kDim; ++c) g(r, c) = rng.Gaussian();
+    }
+    linalg::Matrix a(kDim, kDim);
+    if (full) {
+      a = g.Transposed().Multiply(g).Scale(0.05);
+      a.AddToDiagonal(1.0);
+    } else {
+      for (int d = 0; d < kDim; ++d) a(d, d) = 1.0 + 0.5 * (d % 3);
+    }
+    for (int t = 0; t < 5; ++t) {
+      const int drift = t == 4 ? 1 : t;
+      Vector q = pts[static_cast<std::size_t>(6 * drift)];
+      q[1] += 0.1 * drift;
+      rounds.push_back(std::make_unique<index::MahalanobisDistance>(q, a));
+    }
+  } else if (family == "disjunctive") {
+    // Growing member sets: every round updates the cluster covariances, so
+    // every warm round crosses a key mismatch and re-scores.
+    for (int t = 0; t < 4; ++t) {
+      rounds.push_back(
+          std::make_unique<DisjunctiveDistance>(MakeDisjunctive(t, 18 + t)));
+    }
+    rounds.push_back(
+        std::make_unique<DisjunctiveDistance>(MakeDisjunctive(1, 19)));
+  } else {
+    ADD_FAILURE() << "unknown family " << family;
+  }
+  return rounds;
+}
+
+const std::vector<std::string>& Families() {
+  static const auto* families = new std::vector<std::string>{
+      "euclidean",      "weighted",   "mahalanobis_diag",
+      "mahalanobis_full", "disjunctive"};
+  return *families;
+}
+
+/// Replays one session's rounds cold and warm against `index` and demands
+/// bitwise-equal results every round. `reference` (when given) must agree
+/// too — used to cross-check tree indexes against the linear scan.
+void ExpectWarmMatchesCold(
+    const KnnIndex& index,
+    const std::vector<std::unique_ptr<DistanceFunction>>& rounds,
+    const std::string& context, const KnnIndex* reference = nullptr) {
+  index::WarmStart warm;
+  for (std::size_t t = 0; t < rounds.size(); ++t) {
+    const DistanceFunction& dist = *rounds[t];
+    const std::vector<Neighbor> cold = index.Search(dist, kK);
+    const std::vector<Neighbor> warm_result = index.SearchWarm(dist, kK, warm);
+    EXPECT_EQ(warm_result, cold) << context << " round " << t;
+    if (reference != nullptr) {
+      EXPECT_EQ(cold, reference->Search(dist, kK))
+          << context << " round " << t << " (vs reference)";
+    }
+    ASSERT_FALSE(cold.empty()) << context;
+  }
+  EXPECT_GE(warm.size(), kK) << context;
+}
+
+TEST(WarmStartUnitTest, IdenticalKeyReusesWithoutRescoring) {
+  const auto& pts = TieHeavyPoints();
+  const index::LinearScanIndex scan(&pts);
+  const index::EuclideanDistance dist(pts[0]);
+  index::WarmStart warm;
+  DiscardResult(scan.SearchWarm(dist, kK, warm));
+  ASSERT_GE(warm.size(), kK);
+
+  // The same metric rebuilt from the same query: decompositions are equal
+  // bit for bit, so the seed reuses the stored distances untouched.
+  const index::EuclideanDistance same(pts[0]);
+  const index::WarmStart::Seed seed = warm.Reseed(same, kK, pts);
+  ASSERT_TRUE(seed.valid());
+  EXPECT_TRUE(seed.reused);
+  EXPECT_EQ(seed.evaluations, 0);
+  // theta0 is the k-th smallest cached distance == the true k-th distance.
+  const auto cold = scan.Search(dist, kK);
+  EXPECT_EQ(seed.theta0, cold.back().distance);
+}
+
+TEST(WarmStartUnitTest, CovarianceUpdateInvalidatesAndRescores) {
+  const auto& pts = TieHeavyPoints();
+  const index::LinearScanIndex scan(&pts);
+  const DisjunctiveDistance before = MakeDisjunctive(0, 18);
+  index::WarmStart warm;
+  DiscardResult(scan.SearchWarm(before, kK, warm));
+
+  // One extra member per cluster: centroids and covariances both move, the
+  // stored key no longer matches, and the seed must re-score every cached
+  // candidate under the *new* metric.
+  const DisjunctiveDistance after = MakeDisjunctive(0, 19);
+  const index::WarmStart::Seed seed = warm.Reseed(after, kK, pts);
+  ASSERT_TRUE(seed.valid());
+  EXPECT_FALSE(seed.reused);
+  EXPECT_EQ(seed.evaluations, warm.size());
+  // The re-scored bound certifies against the new metric's true k-th.
+  const auto cold = scan.Search(after, kK);
+  EXPECT_GE(seed.theta0, cold.back().distance);
+}
+
+TEST(WarmStartUnitTest, OpaqueMetricStoresNoKey) {
+  const auto& pts = TieHeavyPoints();
+  const index::LinearScanIndex scan(&pts);
+  const index::EuclideanDistance base(pts[0]);
+  const OpaqueMetric opaque(&base);
+  index::WarmStart warm;
+  DiscardResult(scan.SearchWarm(opaque, kK, warm));
+  ASSERT_GE(warm.size(), kK);
+  EXPECT_FALSE(warm.has_key());
+
+  // Even the *same* opaque metric cannot match: with no key stored, reuse
+  // is impossible and every reseed re-scores — stale seeds cannot exist.
+  const index::WarmStart::Seed seed = warm.Reseed(opaque, kK, pts);
+  ASSERT_TRUE(seed.valid());
+  EXPECT_FALSE(seed.reused);
+  EXPECT_EQ(seed.evaluations, warm.size());
+}
+
+TEST(WarmStartUnitTest, TooFewCachedCandidatesYieldsInvalidSeed) {
+  const auto& pts = TieHeavyPoints();
+  const index::LinearScanIndex scan(&pts);
+  const index::EuclideanDistance dist(pts[0]);
+  index::WarmStart warm;
+  DiscardResult(scan.SearchWarm(dist, 5, warm));
+  ASSERT_EQ(warm.size(), 5);
+  // Fewer than k cached candidates cannot certify a k-th-distance bound.
+  EXPECT_FALSE(warm.Reseed(dist, kK, pts).valid());
+  // And an empty cache seeds nothing at all.
+  warm.Clear();
+  EXPECT_TRUE(warm.empty());
+  EXPECT_FALSE(warm.Reseed(dist, 1, pts).valid());
+}
+
+TEST(WarmStartUnitTest, ThetaUpperBoundsTrueKthDistance) {
+  const auto& pts = TieHeavyPoints();
+  const index::LinearScanIndex scan(&pts);
+  const auto rounds = MetricRounds("disjunctive");
+  index::WarmStart warm;
+  DiscardResult(scan.SearchWarm(*rounds[0], kK, warm));
+  for (std::size_t t = 1; t < rounds.size(); ++t) {
+    const index::WarmStart::Seed seed = warm.Reseed(*rounds[t], kK, pts);
+    ASSERT_TRUE(seed.valid()) << t;
+    const auto cold = scan.Search(*rounds[t], kK);
+    // The certificate: a k-th smallest over a >= k subset of the database
+    // can never undercut the true k-th distance.
+    EXPECT_GE(seed.theta0, cold.back().distance) << t;
+    DiscardResult(scan.SearchWarm(*rounds[t], kK, warm));
+  }
+}
+
+TEST(WarmExactnessTest, EveryIndexEveryMetricEveryThreadCount) {
+  const auto& pts = TieHeavyPoints();
+  ThreadPool pool(4);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    const std::string threads = p == nullptr ? "t1" : "t4";
+    const index::LinearScanIndex scan(&pts, p);
+    const index::FilterRefineIndex filter_auto(&pts, 0, p);
+    const index::FilterRefineIndex filter_k8(&pts, 8, p);
+    const index::VaFile va(&pts, index::VaFile::Options{}, p);
+    const index::BrTree tree(&pts);
+    index::RTree rtree(&pts);
+    for (int i = 0; i < static_cast<int>(pts.size()); ++i) rtree.Insert(i);
+
+    for (const std::string& family : Families()) {
+      const auto rounds = MetricRounds(family);
+      const std::string ctx = family + "/" + threads;
+      ExpectWarmMatchesCold(scan, rounds, "scan/" + ctx);
+      ExpectWarmMatchesCold(filter_auto, rounds, "filter_auto/" + ctx, &scan);
+      ExpectWarmMatchesCold(filter_k8, rounds, "filter_k8/" + ctx, &scan);
+      ExpectWarmMatchesCold(va, rounds, "va/" + ctx, &scan);
+      ExpectWarmMatchesCold(tree, rounds, "br_tree/" + ctx, &scan);
+      ExpectWarmMatchesCold(rtree, rounds, "r_tree/" + ctx, &scan);
+    }
+  }
+}
+
+TEST(WarmExactnessTest, OpaqueMetricRoundsStayExactEverywhere) {
+  const auto& pts = TieHeavyPoints();
+  // Opaque wrappers around drifting Euclidean queries: no Decompose, no
+  // MinDistance — the filter falls back to its scan, trees lose pruning,
+  // and the warm path must still be byte-identical to cold.
+  std::vector<std::unique_ptr<index::EuclideanDistance>> bases;
+  std::vector<std::unique_ptr<DistanceFunction>> rounds;
+  for (int t = 0; t < 4; ++t) {
+    Vector q = pts[static_cast<std::size_t>(9 * t)];
+    q[2] += 0.05 * t;
+    bases.push_back(std::make_unique<index::EuclideanDistance>(q));
+    rounds.push_back(std::make_unique<OpaqueMetric>(bases.back().get()));
+  }
+  const index::LinearScanIndex scan(&pts);
+  const index::FilterRefineIndex filter(&pts, 0);
+  const index::VaFile va(&pts);
+  const index::BrTree tree(&pts);
+  ExpectWarmMatchesCold(scan, rounds, "scan/opaque");
+  ExpectWarmMatchesCold(filter, rounds, "filter/opaque", &scan);
+  ExpectWarmMatchesCold(va, rounds, "va/opaque", &scan);
+  ExpectWarmMatchesCold(tree, rounds, "br_tree/opaque", &scan);
+}
+
+/// Restores the dispatch default even when an assertion fails mid-test.
+class WarmSimdTest : public ::testing::Test {
+ protected:
+  ~WarmSimdTest() override { linalg::simd::ResetTierFromEnv(); }
+};
+
+TEST_F(WarmSimdTest, TiersAgreeWithScalarColdRounds) {
+  const auto& pts = TieHeavyPoints();
+  const index::LinearScanIndex scan(&pts);
+  const index::FilterRefineIndex filter(&pts, 0);
+
+  // Scalar-tier cold results are the cross-tier reference.
+  ASSERT_TRUE(linalg::simd::SetTier(Tier::kScalar));
+  std::vector<std::vector<std::vector<Neighbor>>> reference;
+  for (const std::string& family : Families()) {
+    const auto rounds = MetricRounds(family);
+    std::vector<std::vector<Neighbor>> per_round;
+    for (const auto& dist : rounds) per_round.push_back(scan.Search(*dist, kK));
+    reference.push_back(std::move(per_round));
+  }
+
+  for (Tier tier : {Tier::kScalar, Tier::kWidth2, Tier::kWidth4}) {
+    if (!linalg::simd::SetTier(tier)) continue;
+    for (std::size_t f = 0; f < Families().size(); ++f) {
+      const auto rounds = MetricRounds(Families()[f]);
+      index::WarmStart warm_scan;
+      index::WarmStart warm_filter;
+      for (std::size_t t = 0; t < rounds.size(); ++t) {
+        const std::string ctx = Families()[f] + "/" +
+                                linalg::simd::TierName(tier) + "/round" +
+                                std::to_string(t);
+        EXPECT_EQ(scan.SearchWarm(*rounds[t], kK, warm_scan), reference[f][t])
+            << "scan/" << ctx;
+        EXPECT_EQ(filter.SearchWarm(*rounds[t], kK, warm_filter),
+                  reference[f][t])
+            << "filter/" << ctx;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qcluster

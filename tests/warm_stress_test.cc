@@ -1,0 +1,148 @@
+// Concurrent-session stress for the cross-round candidate cache: two
+// RetrievalSessions share one FeatureDatabase and one index but carry
+// *independent* WarmStart caches (one per engine, guarded by the session
+// mutex), so feedback rounds driven from parallel threads must produce
+// exactly the results of the same rounds replayed single-threaded. Run
+// under TSan this also proves the warm path adds no data race: the shared
+// index is immutable, and all cache mutation happens under each session's
+// own lock.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/session.h"
+#include "dataset/feature_database.h"
+#include "index/linear_scan.h"
+
+namespace qcluster::core {
+namespace {
+
+using linalg::Vector;
+
+constexpr int kClusters = 4;
+constexpr int kPerCluster = 100;
+constexpr int kStressDim = 4;
+constexpr int kRounds = 3;
+
+const dataset::FeatureDatabase& SharedDatabase() {
+  static const auto* db = [] {
+    Rng rng(733);
+    std::vector<Vector> raw;
+    std::vector<int> categories;
+    for (int c = 0; c < kClusters; ++c) {
+      for (int i = 0; i < kPerCluster; ++i) {
+        Vector p(kStressDim);
+        for (int d = 0; d < kStressDim; ++d) {
+          p[static_cast<std::size_t>(d)] =
+              2.5 * c * (d % 2 == 0 ? 1.0 : -1.0) + 0.4 * rng.Gaussian();
+        }
+        raw.push_back(std::move(p));
+        categories.push_back(c);
+      }
+    }
+    return new dataset::FeatureDatabase(dataset::FeatureDatabase::FromRawFeatures(
+        std::move(raw), std::move(categories),
+        std::vector<int>(kClusters * kPerCluster, 0), kStressDim));
+  }();
+  return *db;
+}
+
+QclusterOptions StressOptions() {
+  QclusterOptions opt;
+  opt.k = 50;
+  opt.use_query_cache = true;
+  return opt;
+}
+
+/// One user's deterministic session: start from a category member, then
+/// each round mark every retrieved image of the target category. Depends
+/// only on this session's own results, so a single-threaded replay must
+/// reproduce it exactly.
+std::vector<std::vector<index::Neighbor>> DriveSession(
+    RetrievalSession& session, int category) {
+  const dataset::FeatureDatabase& db = SharedDatabase();
+  std::vector<std::vector<index::Neighbor>> per_round;
+  auto result = session.Start(
+      db.features()[static_cast<std::size_t>(category * kPerCluster)]);
+  per_round.push_back(result);
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<RelevantItem> marked;
+    for (const auto& n : result) {
+      if (n.id / kPerCluster == category) marked.push_back({n.id, 1.0});
+    }
+    if (marked.empty()) marked.push_back({category * kPerCluster, 1.0});
+    result = session.Feedback(marked);
+    per_round.push_back(result);
+  }
+  return per_round;
+}
+
+TEST(WarmStressTest, ConcurrentSessionsMatchSequentialReplay) {
+  const dataset::FeatureDatabase& db = SharedDatabase();
+  const index::LinearScanIndex index(&db.features());
+  const QclusterOptions opt = StressOptions();
+
+  // Two sessions over the same database and index, driven concurrently.
+  RetrievalSession session_a(&db.features(), &index, opt);
+  RetrievalSession session_b(&db.features(), &index, opt);
+  std::vector<std::vector<index::Neighbor>> rounds_a;
+  std::vector<std::vector<index::Neighbor>> rounds_b;
+  {
+    std::thread ta([&] { rounds_a = DriveSession(session_a, 0); });
+    std::thread tb([&] { rounds_b = DriveSession(session_b, 2); });
+    ta.join();
+    tb.join();
+  }
+  // Each session's cache warmed independently.
+  EXPECT_GE(session_a.warm_candidates(), opt.k);
+  EXPECT_GE(session_b.warm_candidates(), opt.k);
+
+  // The same two sessions replayed one after the other — identical rounds.
+  RetrievalSession replay_a(&db.features(), &index, opt);
+  RetrievalSession replay_b(&db.features(), &index, opt);
+  EXPECT_EQ(rounds_a, DriveSession(replay_a, 0));
+  EXPECT_EQ(rounds_b, DriveSession(replay_b, 2));
+
+  // Sharing one database must not couple the sessions: the two users
+  // searched different categories, so their final rounds differ.
+  EXPECT_NE(rounds_a.back(), rounds_b.back());
+}
+
+TEST(WarmStressTest, ManySessionsHammerOneIndex) {
+  const dataset::FeatureDatabase& db = SharedDatabase();
+  const index::LinearScanIndex index(&db.features());
+  const QclusterOptions opt = StressOptions();
+
+  constexpr int kSessions = 8;
+  std::vector<std::unique_ptr<RetrievalSession>> sessions;
+  std::vector<std::vector<std::vector<index::Neighbor>>> rounds(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(
+        std::make_unique<RetrievalSession>(&db.features(), &index, opt));
+  }
+  {
+    std::vector<std::thread> threads;
+    for (int s = 0; s < kSessions; ++s) {
+      threads.emplace_back([&, s] {
+        rounds[static_cast<std::size_t>(s)] =
+            DriveSession(*sessions[static_cast<std::size_t>(s)], s % kClusters);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  // Sessions targeting the same category must agree round for round with
+  // each other and with a sequential replay — the caches never cross.
+  for (int s = 0; s < kSessions; ++s) {
+    RetrievalSession replay(&db.features(), &index, opt);
+    EXPECT_EQ(rounds[static_cast<std::size_t>(s)],
+              DriveSession(replay, s % kClusters))
+        << "session " << s;
+  }
+}
+
+}  // namespace
+}  // namespace qcluster::core
