@@ -48,10 +48,11 @@ def load_metrics(path):
 
 
 def compare(baseline_path, fresh_path, tolerance):
-    """Returns (regressions, report_lines) for one BENCH file pair."""
+    """Returns (regressions, unbaselined, report_lines) for one file pair."""
     baseline = load_metrics(baseline_path)
     fresh = load_metrics(fresh_path)
     regressions = []
+    unbaselined = []
     lines = []
     for name in sorted(baseline):
         base = baseline[name]
@@ -70,9 +71,16 @@ def compare(baseline_path, fresh_path, tolerance):
         )
         if ratio < floor:
             regressions.append(name)
+    # A fresh metric with no committed counterpart is an error, not a note:
+    # quietly skipping it means a renamed or newly added throughput metric
+    # is never gated, and the gate decays silently as the bench suite grows.
     for name in sorted(set(fresh) - set(baseline)):
-        lines.append(f"  new      {name}: {fresh[name]:.3g} (no baseline yet)")
-    return regressions, lines
+        unbaselined.append(name)
+        lines.append(
+            f"  UNBASELINED {name}: {fresh[name]:.3g} — fresh run exports "
+            "this metric but the committed baseline does not"
+        )
+    return regressions, unbaselined, lines
 
 
 def main():
@@ -119,17 +127,23 @@ def main():
         return 0
 
     total_regressions = []
+    total_unbaselined = []
     checked = 0
     for fresh in fresh_files:
         baseline = baseline_dir / fresh.name
         if not baseline.is_file():
             continue  # No baseline committed for this binary: nothing gates.
-        regressions, lines = compare(baseline, fresh, args.tolerance)
+        regressions, unbaselined, lines = compare(
+            baseline, fresh, args.tolerance
+        )
         if lines:
             checked += 1
             print(f"{fresh.name}:")
             print("\n".join(lines))
         total_regressions.extend(f"{fresh.name}:{name}" for name in regressions)
+        total_unbaselined.extend(
+            f"{fresh.name}:{name}" for name in unbaselined
+        )
 
     if checked == 0:
         print(
@@ -138,6 +152,7 @@ def main():
             file=sys.stderr,
         )
         return 0
+    failed = False
     if total_regressions:
         print(
             f"\nFAIL: {len(total_regressions)} throughput regression(s):",
@@ -145,6 +160,23 @@ def main():
         )
         for name in total_regressions:
             print(f"  {name}", file=sys.stderr)
+        failed = True
+    if total_unbaselined:
+        print(
+            f"\nFAIL: {len(total_unbaselined)} fresh metric(s) missing from "
+            "the committed baseline:",
+            file=sys.stderr,
+        )
+        for name in total_unbaselined:
+            print(f"  {name}", file=sys.stderr)
+        print(
+            "hint: if these metrics are intentional, re-baseline with "
+            f"`bench/check_regression.py --fresh {fresh_dir} --update` and "
+            "commit the result",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
         return 1
     print(f"\nOK: {checked} file(s) checked, no throughput regressions")
     return 0

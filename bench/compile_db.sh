@@ -1,0 +1,14 @@
+# Shared compile_commands.json bootstrap for the lint drivers
+# (bench/run_tidy.sh and bench/run_qlint.sh). Source it after setting
+# repo_root and build_dir, then call ensure_compile_db: the build tree is
+# (re)configured only when the database is missing, so both drivers agree on
+# one bootstrap and a tree configured by either serves the other.
+#
+# Not executable on purpose — this file is `source`d, never run.
+
+ensure_compile_db() {
+  if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+    echo "==> configuring ${build_dir} (no compile_commands.json yet)"
+    cmake -B "${build_dir}" -S "${repo_root}"
+  fi
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# qlint driver: runs the project-contract static analyzer (tools/qlint/) over
+# every first-party source under src/, verifying FP compile flags against the
+# compilation database of a configured build tree and writing a JSON report
+# for CI artifact upload. Usage:
+#
+#   bench/run_qlint.sh [build-dir] [-- extra qlint flags...]
+#
+# Defaults to build/ next to the repo root; the tree is (re)configured if it
+# has no compile_commands.json yet (shared bootstrap with run_tidy.sh).
+# QLINT_JSON overrides the report path (default:
+# <build-dir>/qlint_report.json). Exit codes follow qlint: 0 clean,
+# 1 findings, 2 configuration error.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  build_dir="$1"
+  shift
+fi
+extra_flags=()
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+  extra_flags=("$@")
+fi
+
+python=""
+for candidate in python3 python; do
+  if command -v "${candidate}" > /dev/null 2>&1; then
+    python="${candidate}"
+    break
+  fi
+done
+if [[ -z "${python}" ]]; then
+  echo "error: no python3 found on PATH (qlint is pure stdlib Python)" >&2
+  exit 2
+fi
+
+# shellcheck source=bench/compile_db.sh
+source "${repo_root}/bench/compile_db.sh"
+ensure_compile_db
+
+report="${QLINT_JSON:-${build_dir}/qlint_report.json}"
+cd "${repo_root}"
+echo "==> qlint over src/ (database: ${build_dir}/compile_commands.json)"
+# Extra flags (and any extra fixture paths) go before the positional src so
+# argparse sees one contiguous positional group.
+"${python}" tools/qlint/qlint.py \
+  --compile-commands "${build_dir}/compile_commands.json" \
+  --json-output "${report}" \
+  "${extra_flags[@]}" src
+echo "==> qlint report: ${report}"

@@ -37,9 +37,9 @@ if [[ -z "${tidy}" ]]; then
 fi
 echo "==> $("${tidy}" --version | head -n 1)"
 
-if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
-  cmake -B "${build_dir}" -S "${repo_root}"
-fi
+# shellcheck source=bench/compile_db.sh
+source "${repo_root}/bench/compile_db.sh"
+ensure_compile_db
 
 # Every first-party translation unit; headers are pulled in through
 # HeaderFilterRegex in .clang-tidy.

@@ -114,9 +114,16 @@ void ThreadPool::ParallelFor(
 
 ThreadPool& ThreadPool::Global() {
   // Leaked intentionally: worker threads must outlive every static-duration
-  // index, and thread joins in static destructors are deadlock-prone.
-  static ThreadPool* const pool =
-      new ThreadPool(internal::ParseThreadCount(std::getenv("QCLUSTER_THREADS")));
+  // index, and thread joins in static destructors are deadlock-prone. The
+  // QCLUSTER_THREADS read is deliberately lazy rather than anchored in a
+  // header: it runs at first pool use inside this function-local static, so
+  // there is no static-init ordering for an anchor to fix, and an eager
+  // header anchor would spin up workers in every binary linking this file.
+  static ThreadPool* const pool = [] {
+    // qlint: allow(env-hook): lazy, function-local static; no init hazard
+    const char* const env = std::getenv("QCLUSTER_THREADS");
+    return new ThreadPool(internal::ParseThreadCount(env));
+  }();
   return *pool;
 }
 

@@ -63,6 +63,7 @@ class ThreadPool {
   void WorkerLoop();
 
   const int threads_;
+  // qlint: unguarded(ctor-filled before any worker runs; joined in dtor)
   std::vector<std::thread> workers_;
   Mutex mu_;
   CondVar cv_;

@@ -85,9 +85,14 @@ class RetrievalSession {
       const std::vector<RelevantItem>& marked) QCLUSTER_REQUIRES(mu_);
   void ReplayLocked() QCLUSTER_REQUIRES(mu_);
 
-  const std::vector<linalg::Vector>* database_;  ///< Immutable after ctor.
-  const index::KnnIndex* knn_;                   ///< Immutable after ctor.
-  QclusterOptions options_;                      ///< Immutable after ctor.
+  // Set in the ctor, read-only ever after (const-qualifying them would
+  // delete the move assignment sessions rely on), so reads need no lock.
+  // qlint: unguarded(immutable after ctor)
+  const std::vector<linalg::Vector>* database_;
+  // qlint: unguarded(immutable after ctor)
+  const index::KnnIndex* knn_;
+  // qlint: unguarded(immutable after ctor)
+  QclusterOptions options_;
 
   mutable Mutex mu_;
   QclusterEngine engine_ QCLUSTER_GUARDED_BY(mu_);

@@ -192,8 +192,6 @@ std::vector<Neighbor> FilterRefineIndex::SearchImpl(const DistanceFunction& dist
   }
   QCLUSTER_CHECK(dist.dim() == view_.dim);
   const int reduced = reduced_dims(view_.dim);
-  span.AddAttr("reduced", reduced);
-  span.AddAttr("components", decomp.components.size());
   bool projection_reused = false;
   const std::shared_ptr<const Projection> proj =
       EnsureProjection(decomp, reduced, &projection_reused);
@@ -226,6 +224,12 @@ std::vector<Neighbor> FilterRefineIndex::SearchImpl(const DistanceFunction& dist
   std::vector<double> lbs(n);
   {
     QCLUSTER_TRACE_SPAN(filter_span, "index.filter_refine.filter");
+    // The projection shape lives here, not on the parent: SpanRecord holds
+    // kMaxAttrs (6) attributes, and the parent span needs its slots for the
+    // whole-search facts (candidates and refine_ratio were silently dropped
+    // when these two rode on it).
+    filter_span.AddAttr("reduced", reduced);
+    filter_span.AddAttr("components", decomp.components.size());
     if (!decomp.harmonic) {
       // One quadratic form: the whole reduced row is the component segment,
       // so the existing batched Euclidean kernel scans it directly.

@@ -120,11 +120,14 @@ class FilterRefineIndex final : public KnnIndex {
 
   ThreadPool& pool() const;
 
-  linalg::FlatBlock owned_;  ///< Packed copy when built from vectors.
-  linalg::FlatView view_;
+  // Built once in the ctor and never reassigned: the database snapshot and
+  // fallback index are structurally immutable, so searches read them
+  // without mu_ (which only protects the projection cache below).
+  linalg::FlatBlock owned_;   // qlint: unguarded(immutable after ctor)
+  linalg::FlatView view_;     // qlint: unguarded(immutable after ctor)
   const int pca_dims_;
   ThreadPool* const pool_;  ///< nullptr = ThreadPool::Global().
-  LinearScanIndex fallback_;  ///< Exhaustive path for opaque metrics.
+  LinearScanIndex fallback_;  // qlint: unguarded(immutable; locks internally)
 
   mutable Mutex mu_;
   mutable std::shared_ptr<const Projection> cache_ QCLUSTER_GUARDED_BY(mu_);

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""ctest harness for qlint, the project-contract static analyzer.
+
+Drives tools/qlint/qlint.py as a subprocess — the same CLI surface CI and
+bench/run_qlint.sh use — over the fixture corpus in tools/qlint/fixtures/:
+
+  * every check fires on its violation fixture and stays quiet on its ok
+    fixture;
+  * the lock-order check finds the seeded two-mutex cycle only when BOTH
+    translation units are scanned together (the graph is cross-TU);
+  * the compile-flag half of fp-determinism is exercised against generated
+    compile_commands.json databases (fast-math / missing -ffp-contract=off);
+  * the suppression grammar's own failure modes (no reason, unknown check,
+    malformed, unused) are each errors, and an unjustified waiver does not
+    hide the finding it sits on;
+  * exit codes: 0 clean, 1 findings, 2 configuration error;
+  * JSON and SARIF reports are well-formed;
+  * the real src/ tree scans clean, so a new contract violation fails ctest.
+
+Stdlib only; no build products required beyond python3.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+QLINT = os.path.join(REPO, "tools", "qlint", "qlint.py")
+FIXTURES = os.path.join("tools", "qlint", "fixtures")
+
+
+def fx(*parts):
+    return os.path.join(FIXTURES, *parts)
+
+
+def run_qlint(paths, extra=(), fmt="json"):
+    """Runs qlint from the repo root; returns (exit code, parsed report)."""
+    cmd = [sys.executable, QLINT, "--format", fmt, *extra, *paths]
+    proc = subprocess.run(
+        cmd, cwd=REPO, capture_output=True, text=True, timeout=120
+    )
+    doc = None
+    if fmt in ("json", "sarif") and proc.stdout.strip():
+        doc = json.loads(proc.stdout)
+    return proc.returncode, doc, proc.stderr
+
+
+def scan(paths, extra=()):
+    """Token scan with the flag-verification half explicitly skipped."""
+    return run_qlint(paths, ("--allow-missing-compile-commands", *extra))
+
+
+def checks_of(doc):
+    return [f["check"] for f in doc["findings"]]
+
+
+class FixtureCorpusTest(unittest.TestCase):
+    def assert_clean(self, code, doc, stderr):
+        self.assertEqual(doc["finding_count"], 0, doc["findings"])
+        self.assertEqual(code, 0, stderr)
+
+    def assert_fires(self, doc, check, count):
+        self.assertEqual(checks_of(doc).count(check), count, doc["findings"])
+
+    # -- raw-sync ---------------------------------------------------------
+
+    def test_raw_sync_fires(self):
+        code, doc, _ = scan([fx("raw_sync", "violation.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "raw-sync", 5)
+        self.assertEqual(set(checks_of(doc)), {"raw-sync"})
+
+    def test_raw_sync_quiet(self):
+        self.assert_clean(*scan([fx("raw_sync", "ok.cc")]))
+
+    # -- guarded-by -------------------------------------------------------
+
+    def test_guarded_by_fires(self):
+        code, doc, _ = scan([fx("guarded_by", "violation.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "guarded-by", 2)
+        members = " ".join(f["message"] for f in doc["findings"])
+        self.assertIn("'keys_'", members)
+        self.assertIn("'last_error_'", members)
+
+    def test_guarded_by_quiet_with_annotations_and_waiver(self):
+        self.assert_clean(*scan([fx("guarded_by", "ok.cc")]))
+
+    # -- lock-order -------------------------------------------------------
+
+    def test_lock_order_detects_cross_tu_cycle(self):
+        code, doc, _ = scan([
+            fx("lock_order", "violation_a.cc"),
+            fx("lock_order", "violation_b.cc"),
+        ])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "lock-order", 1)
+        msg = doc["findings"][0]["message"]
+        self.assertIn("g_account_mu", msg)
+        self.assertIn("g_ledger_mu", msg)
+
+    def test_lock_order_single_tu_is_not_a_cycle(self):
+        # Each TU alone is internally consistent; the cycle is cross-TU.
+        self.assert_clean(*scan([fx("lock_order", "violation_a.cc")]))
+        self.assert_clean(*scan([fx("lock_order", "violation_b.cc")]))
+
+    def test_lock_order_quiet(self):
+        self.assert_clean(*scan([fx("lock_order", "ok.cc")]))
+
+    # -- fp-determinism (token half) --------------------------------------
+
+    def test_fp_determinism_fires(self):
+        code, doc, _ = scan([fx("linalg", "fp_violation.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "fp-determinism", 3)
+        messages = " ".join(f["message"] for f in doc["findings"])
+        self.assertIn("fma", messages)
+        self.assertIn("std::reduce", messages)
+        self.assertIn("unordered", messages)
+
+    def test_fp_determinism_quiet(self):
+        self.assert_clean(*scan([fx("linalg", "fp_ok.cc")]))
+
+    # -- fp-determinism (compile-flag half) --------------------------------
+
+    def _flags_db(self, flags):
+        rel = fx("fp_flags", "linalg", "simd_bad.cc")
+        entry = {
+            "directory": REPO,
+            "file": rel,
+            "command": f"/usr/bin/c++ -O2 {flags} -c {rel} -o simd_bad.o",
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, dir=REPO
+        )
+        self.addCleanup(os.unlink, handle.name)
+        json.dump([entry], handle)
+        handle.close()
+        return handle.name
+
+    def test_fp_flags_fire(self):
+        db = self._flags_db("-ffast-math")
+        code, doc, _ = run_qlint(
+            [fx("fp_flags", "linalg", "simd_bad.cc")],
+            ("--compile-commands", db),
+        )
+        self.assertEqual(code, 1)
+        # -ffast-math is flagged AND the simd_*.cc TU lacks -ffp-contract=off.
+        self.assert_fires(doc, "fp-determinism", 2)
+        messages = " ".join(f["message"] for f in doc["findings"])
+        self.assertIn("-ffast-math", messages)
+        self.assertIn("-ffp-contract=off", messages)
+
+    def test_fp_flags_quiet_when_contract_off(self):
+        db = self._flags_db("-ffp-contract=off")
+        self.assert_clean(*run_qlint(
+            [fx("fp_flags", "linalg", "simd_bad.cc")],
+            ("--compile-commands", db),
+        ))
+
+    def test_fp_missing_database_is_loud_by_default(self):
+        # Without --allow-missing-compile-commands a kernel .cc cannot have
+        # its flags verified, and that must be a finding, not a silent skip.
+        code, doc, _ = run_qlint([fx("fp_flags", "linalg", "simd_bad.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "fp-determinism", 1)
+        self.assertIn("compile_commands", doc["findings"][0]["message"])
+
+    # -- status-discard ---------------------------------------------------
+
+    def test_status_discard_fires(self):
+        code, doc, _ = scan([fx("status_discard", "violation.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "status-discard", 2)
+
+    def test_status_discard_quiet_with_justifications(self):
+        self.assert_clean(*scan([fx("status_discard", "ok.cc")]))
+
+    # -- env-hook ---------------------------------------------------------
+
+    def test_env_hook_fires(self):
+        code, doc, _ = scan([fx("env_hook", "violation.cc")])
+        self.assertEqual(code, 1)
+        # Both getenv in a plain function AND in an unanchored *FromEnv.
+        self.assert_fires(doc, "env-hook", 2)
+
+    def test_env_hook_quiet_when_anchored(self):
+        self.assert_clean(*scan([
+            fx("env_hook", "ok.cc"), fx("env_hook", "ok.h"),
+        ]))
+
+    def test_env_hook_requires_the_anchor(self):
+        # The same *FromEnv definition WITHOUT its header anchor in scope
+        # is a violation: nothing forces the hook to link.
+        code, doc, _ = scan([fx("env_hook", "ok.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "env-hook", 1)
+
+    # -- span-attrs -------------------------------------------------------
+
+    def test_span_attrs_fires(self):
+        code, doc, _ = scan([fx("span_attrs", "violation.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "span-attrs", 2)
+        for f in doc["findings"]:
+            self.assertIn("receives 7 AddAttr", f["message"])
+
+    def test_span_attrs_quiet_with_child_span(self):
+        self.assert_clean(*scan([fx("span_attrs", "ok.cc")]))
+
+    # -- suppression grammar ----------------------------------------------
+
+    def test_suppression_failure_modes_are_errors(self):
+        code, doc, _ = scan([fx("suppression", "violation.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "suppression", 4)
+        # The reasonless waiver does NOT hide the raw-sync finding under it.
+        self.assert_fires(doc, "raw-sync", 1)
+        messages = " ".join(f["message"] for f in doc["findings"])
+        self.assertIn("carries no reason", messages)
+        self.assertIn("unknown check", messages)
+        self.assertIn("malformed qlint directive", messages)
+        self.assertIn("matches no finding", messages)
+
+    def test_justified_used_waiver_is_quiet(self):
+        self.assert_clean(*scan([fx("suppression", "ok.cc")]))
+
+    # -- CLI contract ------------------------------------------------------
+
+    def test_exit_code_two_on_unknown_check(self):
+        code, _, stderr = run_qlint(
+            [fx("raw_sync", "ok.cc")], ("--checks", "no-such-check")
+        )
+        self.assertEqual(code, 2)
+        self.assertIn("unknown check", stderr)
+
+    def test_sarif_report_shape(self):
+        code, doc, _ = run_qlint(
+            [fx("raw_sync", "violation.cc")],
+            ("--allow-missing-compile-commands",),
+            fmt="sarif",
+        )
+        self.assertEqual(code, 1)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "qlint")
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        self.assertIn("lock-order", rule_ids)
+        self.assertTrue(run["results"])
+        self.assertEqual(run["results"][0]["ruleId"], "raw-sync")
+
+    def test_json_report_schema(self):
+        code, doc, _ = scan([fx("raw_sync", "violation.cc")])
+        self.assertEqual(code, 1)
+        self.assertEqual(doc["schema"], "qcluster.qlint.v1")
+        self.assertEqual(doc["finding_count"], len(doc["findings"]))
+        self.assertEqual(doc["files_scanned"], 1)
+        for f in doc["findings"]:
+            for key in ("check", "file", "line", "message"):
+                self.assertIn(key, f)
+
+    # -- the real tree -----------------------------------------------------
+
+    def test_src_tree_is_clean(self):
+        """src/ holds the contract: any new violation fails ctest here."""
+        code, doc, stderr = scan(["src"])
+        self.assertEqual(
+            code, 0,
+            "qlint findings in src/:\n"
+            + "\n".join(
+                f"{f['file']}:{f['line']}: [{f['check']}] {f['message']}"
+                for f in (doc or {}).get("findings", [])
+            )
+            + stderr,
+        )
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,271 @@
+"""C++ tokenizer for qlint.
+
+Two backends produce the same token stream shape:
+
+  * ``lex_python`` — a pure-Python lexer with no dependencies. It understands
+    line/block comments, string/char literals (including raw strings and
+    digit separators), preprocessor lines (with continuations), and the
+    ``::`` scope token. This is the fallback backend and the one CI uses
+    when libclang is unavailable, so the gate never silently skips.
+  * ``lex_libclang`` — the same stream derived from libclang's lexer when
+    the ``clang`` Python bindings and a loadable ``libclang`` are present.
+    Its upside is exactness on dark corners (trigraphs, exotic literals);
+    the check logic downstream is identical.
+
+A token is a ``Token(kind, text, line)`` with kind one of:
+  ``ident``   identifiers and keywords (``const``, ``class``, ... included)
+  ``num``     numeric literals
+  ``str``     string literals (text is the raw literal)
+  ``char``    character literals
+  ``punct``   one punctuation character, except ``::`` which is one token
+  ``pp``      one whole preprocessor directive (continuations folded in)
+
+Comments are not tokens; they are returned separately as
+``{line: [comment_text, ...]}`` so checks can look up same-line
+justifications and ``// qlint:`` directives without them perturbing the
+token stream.
+"""
+
+from __future__ import annotations
+
+import collections
+import re
+
+Token = collections.namedtuple("Token", ["kind", "text", "line"])
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+_RAW_STRING_RE = re.compile(r'R"([^()\\ \t\n]{0,16})\(')
+
+
+class LexResult:
+    """Token stream plus per-line comment map for one file."""
+
+    def __init__(self, tokens, comments, backend):
+        self.tokens = tokens            # list[Token]
+        self.comments = comments        # dict[int, list[str]]
+        self.backend = backend          # "python" | "libclang"
+
+
+def lex_python(text):
+    """Tokenizes C++ source text with the dependency-free lexer."""
+    tokens = []
+    comments = collections.defaultdict(list)
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # Only whitespace seen since the last newline.
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Preprocessor directive: consume to end of line, folding
+        # backslash-newline continuations into one token.
+        if c == "#" and at_line_start:
+            start_line = line
+            buf = []
+            while i < n:
+                ch = text[i]
+                if ch == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    buf.append(" ")
+                    i += 2
+                    line += 1
+                    continue
+                if ch == "\n":
+                    break
+                buf.append(ch)
+                i += 1
+            tokens.append(Token("pp", "".join(buf), start_line))
+            continue
+
+        at_line_start = False
+
+        # Comments.
+        if c == "/" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "/":
+                j = text.find("\n", i)
+                if j == -1:
+                    j = n
+                comments[line].append(text[i:j])
+                i = j
+                continue
+            if nxt == "*":
+                j = text.find("*/", i + 2)
+                if j == -1:
+                    j = n - 2
+                body = text[i : j + 2]
+                comments[line].append(body)
+                # Block comments can justify a site on any covered line.
+                for extra in range(body.count("\n")):
+                    comments[line + 1 + extra].append(body)
+                line += body.count("\n")
+                i = j + 2
+                continue
+
+        # Raw string literal.
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            m = _RAW_STRING_RE.match(text, i)
+            if m:
+                closer = ")" + m.group(1) + '"'
+                j = text.find(closer, m.end())
+                if j == -1:
+                    j = n - len(closer)
+                lit = text[i : j + len(closer)]
+                tokens.append(Token("str", lit, line))
+                line += lit.count("\n")
+                i = j + len(closer)
+                continue
+
+        # String / char literals (with escape handling). Numbers are lexed
+        # first below, so digit separators like 1'000 never reach the char
+        # branch.
+        if c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            lit = text[i : j + 1]
+            tokens.append(Token("str" if quote == '"' else "char", lit, line))
+            i = j + 1
+            continue
+
+        # Numeric literal (digit separators and suffixes folded in).
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            j = i
+            while j < n:
+                ch = text[j]
+                if ch in _IDENT_CONT or ch == ".":
+                    j += 1
+                elif ch == "'" and j + 1 < n and text[j + 1] in _IDENT_CONT:
+                    j += 2  # Digit separator.
+                elif ch in "+-" and j > i and text[j - 1] in "eEpP":
+                    j += 1  # Exponent sign.
+                else:
+                    break
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+
+        # Identifier / keyword.
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token("ident", text[i:j], line))
+            i = j
+            continue
+
+        # `::` as a single token; everything else one char of punctuation.
+        if c == ":" and i + 1 < n and text[i + 1] == ":":
+            tokens.append(Token("punct", "::", line))
+            i += 2
+            continue
+        tokens.append(Token("punct", c, line))
+        i += 1
+
+    return LexResult(tokens, dict(comments), "python")
+
+
+def _libclang_index():
+    """Returns a clang.cindex.Index or None when libclang is unusable."""
+    try:
+        from clang import cindex  # noqa: PLC0415 (optional dependency probe)
+    except ImportError:
+        return None
+    try:
+        return cindex, cindex.Index.create()
+    except Exception:  # Library present but not loadable: fall back.
+        return None
+
+
+def lex_libclang(path, text, args=None):
+    """Tokenizes via libclang; returns None when the backend is unavailable.
+
+    The stream is normalized to the same shape ``lex_python`` produces:
+    keywords become ``ident`` tokens, comments go to the side map, and a
+    ``:`` ``:`` pair collapses to ``::``.
+    """
+    probe = _libclang_index()
+    if probe is None:
+        return None
+    cindex, index = probe
+    tu = index.parse(
+        path,
+        args=list(args or []),
+        unsaved_files=[(path, text)],
+        options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD,
+    )
+    tokens = []
+    comments = collections.defaultdict(list)
+    kind_map = {
+        cindex.TokenKind.IDENTIFIER: "ident",
+        cindex.TokenKind.KEYWORD: "ident",
+        cindex.TokenKind.LITERAL: "num",
+        cindex.TokenKind.PUNCTUATION: "punct",
+    }
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        line = tok.location.line
+        if tok.kind == cindex.TokenKind.COMMENT:
+            comments[line].append(tok.spelling)
+            for extra in range(tok.spelling.count("\n")):
+                comments[line + 1 + extra].append(tok.spelling)
+            continue
+        kind = kind_map.get(tok.kind, "punct")
+        text_ = tok.spelling
+        if kind == "num" and text_ and text_[0] in "\"'R":
+            kind = "str" if '"' in text_ else "char"
+        if kind == "punct" and text_ == "#":
+            # libclang splits pp directives into tokens; qlint only needs
+            # them fenced off, so a bare marker token suffices.
+            tokens.append(Token("pp", "#", line))
+            continue
+        if (
+            kind == "punct"
+            and text_ == ":"
+            and tokens
+            and tokens[-1].kind == "punct"
+            and tokens[-1].text == ":"
+            and tokens[-1].line == line
+        ):
+            tokens[-1] = Token("punct", "::", line)
+            continue
+        # Longer punctuation (e.g. "->", "<<") arrives pre-grouped from
+        # libclang; split to single chars so both backends look alike,
+        # keeping "::" whole.
+        if kind == "punct" and len(text_) > 1 and text_ != "::":
+            for ch in text_:
+                tokens.append(Token("punct", ch, line))
+            continue
+        tokens.append(Token(kind, text_, line))
+    return LexResult(tokens, dict(comments), "libclang")
+
+
+def lex(path, text, mode="auto", args=None):
+    """Lexes with the requested backend; ``auto`` prefers libclang."""
+    if mode in ("auto", "libclang"):
+        result = lex_libclang(path, text, args)
+        if result is not None:
+            return result
+        if mode == "libclang":
+            raise RuntimeError(
+                "libclang backend requested but the clang Python bindings "
+                "are not importable (or libclang failed to load)"
+            )
+    return lex_python(text)

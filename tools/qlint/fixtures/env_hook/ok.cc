@@ -1,0 +1,12 @@
+// qlint fixture: getenv inside the *FromEnv function that ok.h anchors.
+// Scan this file together with ok.h — the anchor lives in the header.
+#include <cstdlib>
+
+namespace fixture {
+
+bool InitFixtureFromEnv() {
+  const char* raw = std::getenv("QCLUSTER_FIXTURE_KNOB");
+  return raw != nullptr;
+}
+
+}  // namespace fixture

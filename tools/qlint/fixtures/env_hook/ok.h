@@ -1,0 +1,13 @@
+// qlint fixture: the anchoring half of the env-hook pattern. The inline
+// variable forces InitFixtureFromEnv() to run (and the TU defining it to be
+// linked) in every binary that includes this header — getenv in that
+// function is therefore sanctioned.
+#pragma once
+
+namespace fixture {
+
+bool InitFixtureFromEnv();
+
+inline const bool kFixtureEnvApplied = InitFixtureFromEnv();
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// qlint fixture: two env-hook violations — getenv in an arbitrary function,
+// and getenv in a correctly named *FromEnv function that no header inline
+// variable anchors (so a static-library link could drop it silently).
+#include <cstdlib>
+
+namespace fixture {
+
+int ReadBudget() {
+  const char* raw = std::getenv("QCLUSTER_FIXTURE_BUDGET");
+  return raw != nullptr ? 1 : 0;
+}
+
+bool InitOrphanFromEnv() {
+  return std::getenv("QCLUSTER_FIXTURE_ORPHAN") != nullptr;
+}
+
+}  // namespace fixture

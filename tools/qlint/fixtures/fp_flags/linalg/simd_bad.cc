@@ -1,0 +1,17 @@
+// qlint fixture: the source itself is clean — the violation lives in the
+// compile command. The test generates a compile_commands.json that builds
+// this TU with -ffast-math and without -ffp-contract=off; fp-determinism
+// must flag both against this file.
+#include <cstddef>
+
+namespace fixture {
+
+double Dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// qlint fixture: guarded-by must fire on mutable members of a mutex-owning
+// class that are neither annotated nor waived.
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Cache {
+ public:
+  void Put(int key);
+
+ private:
+  qcluster::Mutex mu_;
+  std::vector<int> keys_;          // finding: mutable, unannotated, no waiver
+  std::string last_error_;         // finding: same
+  long long hits_ QCLUSTER_GUARDED_BY(mu_) = 0;  // annotated: quiet
+  const int capacity_ = 16;        // const: quiet
+  static int instances_;           // static: quiet
+};
+
+}  // namespace fixture

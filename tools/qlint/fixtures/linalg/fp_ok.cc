@@ -1,0 +1,39 @@
+// qlint fixture: deterministic kernel idioms — sequential accumulation in
+// index order, explicit multiply/add pairs, and unordered containers used
+// for membership or key gathering (no float accumulation off their
+// iteration order).
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];  // Separate multiply and add: tier-stable.
+  }
+  return acc;
+}
+
+int CountMembers(const std::vector<int>& members,
+                 const std::vector<int>& probe) {
+  std::unordered_set<int> ids(members.begin(), members.end());
+  int hits = 0;
+  for (int id : probe) {  // Ordered range; the set is only probed.
+    if (ids.count(id) != 0) ++hits;
+  }
+  return hits;
+}
+
+std::vector<int> Collect(const std::vector<std::pair<int, double>>& entries) {
+  std::unordered_map<int, double> weights(entries.begin(), entries.end());
+  std::vector<int> keys;
+  for (const auto& entry : weights) {
+    keys.push_back(entry.first);  // Gathering keys is order-tolerant
+  }                               // because callers sort before use.
+  return keys;
+}
+
+}  // namespace fixture

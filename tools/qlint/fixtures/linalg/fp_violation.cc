@@ -1,0 +1,34 @@
+// qlint fixture: fp-determinism must fire on every accumulation-order /
+// contraction hazard in kernel code (this file's path is under linalg/, so
+// the kernel scope rules apply).
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+double FusedDot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = std::fma(a[i], b[i], acc);  // finding: fma fuses the rounding step
+  }
+  return acc;
+}
+
+double UnorderedSum(const std::vector<double>& values) {
+  // finding: std::reduce has an unspecified operation order.
+  return std::reduce(values.begin(), values.end(), 0.0);
+}
+
+double HashOrderSum(const std::vector<std::pair<int, double>>& entries) {
+  std::unordered_map<int, double> weights(entries.begin(), entries.end());
+  double total = 0.0;
+  for (const auto& entry : weights) {
+    total += entry.second;  // finding: accumulation in hash iteration order
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+// qlint fixture: consistent acquisition order (account before ledger in
+// every function), REQUIRES-held locks, scope-released locks, and a lambda
+// body that does NOT inherit the submitting scope's held set — none of this
+// is a cycle.
+#include "common/mutex.h"
+
+namespace fixture {
+
+extern qcluster::Mutex g_account_mu;
+extern qcluster::Mutex g_ledger_mu;
+extern int g_balance;
+extern int g_ledger_rows;
+
+void Transfer(int amount) {
+  qcluster::MutexLock account(g_account_mu);
+  g_balance -= amount;
+  qcluster::MutexLock ledger(g_ledger_mu);
+  ++g_ledger_rows;
+}
+
+void Reconcile() QCLUSTER_REQUIRES(g_account_mu) {
+  qcluster::MutexLock ledger(g_ledger_mu);  // Same direction: no cycle.
+  g_ledger_rows = g_balance;
+}
+
+void ScopedThenOther() {
+  {
+    qcluster::MutexLock ledger(g_ledger_mu);
+    ++g_ledger_rows;
+  }  // Released here: the next acquisition is NOT nested.
+  qcluster::MutexLock account(g_account_mu);
+  ++g_balance;
+}
+
+void Deferred(void (*submit)(void (*)())) {
+  qcluster::MutexLock account(g_account_mu);
+  // The lambda runs later on another thread; it must not pick up
+  // g_account_mu as held (that would fabricate account -> ledger AND the
+  // reverse edge from RunLater below).
+  submit([] {
+    qcluster::MutexLock ledger(g_ledger_mu);
+    ++g_ledger_rows;
+  });
+}
+
+void RunLater() {
+  qcluster::MutexLock ledger(g_ledger_mu);
+  ++g_ledger_rows;
+}
+
+}  // namespace fixture

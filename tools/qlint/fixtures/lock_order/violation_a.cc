@@ -1,0 +1,20 @@
+// qlint fixture (1/2): this TU acquires g_account_mu then g_ledger_mu. The
+// sibling TU (violation_b.cc) acquires them in the opposite order — together
+// they seed the two-mutex cycle the lock-order check must detect across TUs.
+#include "common/mutex.h"
+
+namespace fixture {
+
+extern qcluster::Mutex g_account_mu;
+extern qcluster::Mutex g_ledger_mu;
+extern int g_balance;
+extern int g_ledger_rows;
+
+void Deposit(int amount) {
+  qcluster::MutexLock account(g_account_mu);
+  g_balance += amount;
+  qcluster::MutexLock ledger(g_ledger_mu);  // g_account_mu -> g_ledger_mu
+  ++g_ledger_rows;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// qlint fixture (2/2): the reversed acquisition order closing the cycle
+// with violation_a.cc.
+#include "common/mutex.h"
+
+namespace fixture {
+
+extern qcluster::Mutex g_account_mu;
+extern qcluster::Mutex g_ledger_mu;
+extern int g_balance;
+extern int g_ledger_rows;
+
+int Audit() {
+  qcluster::MutexLock ledger(g_ledger_mu);
+  qcluster::MutexLock account(g_account_mu);  // g_ledger_mu -> g_account_mu
+  return g_balance - g_ledger_rows;
+}
+
+}  // namespace fixture

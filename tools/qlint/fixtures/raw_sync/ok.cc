@@ -1,0 +1,19 @@
+// qlint fixture: the annotated facade is the sanctioned spelling — no
+// raw-sync finding here.
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Guarded {
+ public:
+  int Next() {
+    qcluster::MutexLock lock(mu_);
+    return ++counter_;
+  }
+
+ private:
+  qcluster::Mutex mu_;
+  int counter_ QCLUSTER_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

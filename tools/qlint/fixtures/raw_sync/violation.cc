@@ -1,0 +1,23 @@
+// qlint fixture: raw-sync must fire on every direct use of standard-library
+// synchronization outside common/mutex.h.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;                  // finding: std::mutex
+std::condition_variable g_cv;     // finding: std::condition_variable
+
+int Counter() {
+  static int counter = 0;
+  std::lock_guard<std::mutex> lock(g_mu);  // findings: lock_guard + mutex
+  return ++counter;
+}
+
+void SpinWait() {
+  static std::atomic_flag busy;  // finding: std::atomic_flag
+  while (busy.test_and_set()) {
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// qlint fixture: staying inside the attribute budget — six on the parent,
+// and the overflow attributes moved onto a child span in a nested scope
+// (the canonical fix the check's message recommends).
+#include "common/trace.h"
+
+namespace fixture {
+
+void SearchWithinBudget(int candidates, int refined) {
+  qcluster::trace::ScopedSpan span("fixture.search");
+  span.AddAttr("candidates", candidates);
+  span.AddAttr("refined", refined);
+  span.AddAttr("tier", 2);
+  span.AddAttr("threads", 4);
+  span.AddAttr("cached", 1);
+  span.AddAttr("elapsed_us", 120);
+  {
+    qcluster::trace::ScopedSpan detail("fixture.search.detail");
+    detail.AddAttr("reduced", 0);
+    detail.AddAttr("components", 8);
+  }
+}
+
+}  // namespace fixture

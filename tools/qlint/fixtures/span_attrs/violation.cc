@@ -1,0 +1,31 @@
+// qlint fixture: spans exceeding SpanRecord::kMaxAttrs (6) — one through the
+// ScopedSpan declaration form, one through the QCLUSTER_TRACE_SPAN macro.
+// AddAttr beyond the budget drops silently at runtime, so qlint must flag
+// both sites.
+#include "common/trace.h"
+
+namespace fixture {
+
+void SearchOverBudget(int candidates, int refined) {
+  qcluster::trace::ScopedSpan span("fixture.search");
+  span.AddAttr("candidates", candidates);
+  span.AddAttr("refined", refined);
+  span.AddAttr("tier", 2);
+  span.AddAttr("threads", 4);
+  span.AddAttr("cached", 1);
+  span.AddAttr("reduced", 0);
+  span.AddAttr("components", 8);  // 7th attribute: silently dropped.
+}
+
+void MacroOverBudget() {
+  QCLUSTER_TRACE_SPAN(probe, "fixture.probe");
+  probe.AddAttr("a", 1);
+  probe.AddAttr("b", 2);
+  probe.AddAttr("c", 3);
+  probe.AddAttr("d", 4);
+  probe.AddAttr("e", 5);
+  probe.AddAttr("f", 6);
+  probe.AddAttr("g", 7);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// qlint fixture: every deliberate drop names why it is correct, on the same
+// line or the line directly above.
+#include "common/status.h"
+
+namespace fixture {
+
+qcluster::Status Flush();
+
+void Shutdown() {
+  Flush().IgnoreError();  // Best-effort flush: shutdown path cannot retry.
+}
+
+void Drain() {
+  // The drain result only matters for metrics, which are already counted.
+  qcluster::DiscardResult(Flush());
+}
+
+}  // namespace fixture

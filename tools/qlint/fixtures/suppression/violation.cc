@@ -1,0 +1,25 @@
+// qlint fixture: every way a suppression can itself be wrong. Each directive
+// below must produce a `suppression` finding — and the reasonless one must
+// NOT hide the raw-sync finding it sits on.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;  // qlint: allow(raw-sync)
+
+void TouchUnknown() {
+  int x = 0;  // qlint: allow(made-up-check): this check id does not exist
+  (void)x;
+}
+
+void TouchMalformed() {
+  int y = 0;  // qlint: disable everything please
+  (void)y;
+}
+
+void TouchUnused() {
+  int z = 0;  // qlint: allow(status-discard): nothing on this line discards
+  (void)z;
+}
+
+}  // namespace fixture

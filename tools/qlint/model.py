@@ -1,0 +1,481 @@
+"""Lightweight structural model of a C++ file for qlint's checks.
+
+This is not a parser for C++ — it is a deliberately small recognizer for the
+shapes the project-contract checks need:
+
+  * class/struct scopes with their data-member declarations (name, constness,
+    annotations, source lines), enough to audit GUARDED_BY coverage;
+  * function definitions with their body token streams and any
+    QCLUSTER_REQUIRES clauses, enough to trace MutexLock nesting, span
+    attribute budgets, and getenv anchoring;
+  * ``// qlint:`` suppression directives parsed out of the comment map.
+
+Known, documented limits (all checked constructs in this repo stay inside
+them): function-local structs are not audited for GUARDED_BY coverage (the
+Clang thread-safety analysis covers them), and a constructor whose member
+init list uses brace-initializers may lose its body tokens. When libclang is
+available the lexer is exact; the structural recognizer is shared either way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import List, Optional
+
+from cpp_lexer import Token, lex
+
+# Annotation macros that mark a member as consciously guarded.
+GUARD_ANNOTATIONS = {"QCLUSTER_GUARDED_BY", "QCLUSTER_PT_GUARDED_BY"}
+
+# Tokens that end a member-name search (initializers, bitfields).
+_NAME_STOPPERS = {"=", "{", ":"}
+
+_ACCESS_SPECIFIERS = {"public", "private", "protected"}
+_MEMBER_SKIP_LEAD = {
+    "using",
+    "typedef",
+    "friend",
+    "static_assert",
+    "template",
+    "operator",
+}
+# Tokens that may legally precede a function-definition `{`.
+_BODY_PREV_OK = {")", "const", "noexcept", "override", "final", "try"}
+
+_DIRECTIVE_RE = re.compile(r"qlint:\s*(.*)", re.DOTALL)
+_ALLOW_RE = re.compile(r"allow\(\s*([A-Za-z0-9_-]+)\s*\)\s*:?\s*(.*)", re.DOTALL)
+_UNGUARDED_RE = re.compile(r"unguarded\((.*)\)", re.DOTALL)
+
+
+@dataclasses.dataclass
+class Annotation:
+    name: str
+    args: List[Token]
+
+
+@dataclasses.dataclass
+class Member:
+    name: str
+    first_line: int
+    last_line: int
+    texts: List[str]
+    annotations: List[Annotation]
+    is_static: bool
+    is_const: bool
+    is_reference: bool
+    is_mutex: bool
+    is_condvar: bool
+    is_atomic: bool
+
+    @property
+    def is_guarded(self) -> bool:
+        return any(a.name in GUARD_ANNOTATIONS for a in self.annotations)
+
+
+@dataclasses.dataclass
+class ClassScope:
+    name: str
+    qualified_name: str
+    line: int
+    members: List[Member] = dataclasses.field(default_factory=list)
+
+    @property
+    def owns_mutex(self) -> bool:
+        return any(m.is_mutex for m in self.members)
+
+
+@dataclasses.dataclass
+class FunctionScope:
+    name: str            # Unqualified name, e.g. "ParallelFor".
+    class_name: str      # Enclosing/qualifying class, "" for free functions.
+    begin_line: int
+    end_line: int
+    body: List[Token]
+    requires: List[List[Token]]  # QCLUSTER_REQUIRES argument token groups.
+
+
+@dataclasses.dataclass
+class Directive:
+    """One parsed ``// qlint:`` comment."""
+
+    line: int
+    kind: str            # "allow" | "malformed"
+    check: str           # Check id the directive targets ("" if malformed).
+    reason: str
+    raw: str
+    used: bool = False
+
+
+class FileModel:
+    def __init__(self, path, lexed):
+        self.path = path
+        self.tokens: List[Token] = lexed.tokens
+        self.comments = lexed.comments  # dict[int, list[str]]
+        self.backend = lexed.backend
+        self.classes: List[ClassScope] = []
+        self.functions: List[FunctionScope] = []
+        self.directives: List[Directive] = []
+        self._parse_directives()
+        _StructureParser(self).run()
+
+    # -- comment / directive helpers -------------------------------------
+
+    def comment_on(self, line) -> bool:
+        """True when `line` carries any comment at all."""
+        return bool(self.comments.get(line))
+
+    def justification_near(self, line) -> bool:
+        """A human comment on `line` or the line directly above it."""
+        return self.comment_on(line) or self.comment_on(line - 1)
+
+    def directives_near(self, line, span_end=None) -> List[Directive]:
+        """Directives on [line-1, span_end] (span_end defaults to line)."""
+        end = span_end if span_end is not None else line
+        return [d for d in self.directives if line - 1 <= d.line <= end]
+
+    def function_at(self, line) -> Optional[FunctionScope]:
+        best = None
+        for fn in self.functions:
+            if fn.begin_line <= line <= fn.end_line:
+                if best is None or fn.begin_line >= best.begin_line:
+                    best = fn  # Innermost wins (in-class definitions nest).
+        return best
+
+    def _parse_directives(self):
+        for line, texts in sorted(self.comments.items()):
+            for text in texts:
+                m = _DIRECTIVE_RE.search(text)
+                if not m:
+                    continue
+                body = m.group(1).strip().rstrip("*/").strip()
+                allow = _ALLOW_RE.match(body)
+                if allow:
+                    self.directives.append(
+                        Directive(line, "allow", allow.group(1),
+                                  allow.group(2).strip(), body)
+                    )
+                    continue
+                unguarded = _UNGUARDED_RE.match(body)
+                if unguarded:
+                    self.directives.append(
+                        Directive(line, "allow", "guarded-by",
+                                  unguarded.group(1).strip(), body)
+                    )
+                    continue
+                self.directives.append(Directive(line, "malformed", "", "", body))
+
+
+def strip_annotations(tokens):
+    """Removes QCLUSTER_* macro groups and [[...]] attributes.
+
+    Returns (clean_tokens, annotations). The annotation argument tokens are
+    preserved so REQUIRES/GUARDED_BY targets stay inspectable.
+    """
+    clean = []
+    annotations = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.kind == "ident" and t.text.startswith("QCLUSTER_"):
+            if i + 1 < n and tokens[i + 1].text == "(":
+                depth = 0
+                j = i + 1
+                args = []
+                while j < n:
+                    if tokens[j].text == "(":
+                        depth += 1
+                    elif tokens[j].text == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif depth >= 1:
+                        args.append(tokens[j])
+                    j += 1
+                annotations.append(Annotation(t.text, args))
+                i = j + 1
+                continue
+            annotations.append(Annotation(t.text, []))
+            i += 1
+            continue
+        if t.text == "[" and i + 1 < n and tokens[i + 1].text == "[":
+            j = i + 2
+            depth = 2
+            while j < n and depth > 0:
+                if tokens[j].text == "[":
+                    depth += 1
+                elif tokens[j].text == "]":
+                    depth -= 1
+                j += 1
+            i = j
+            continue
+        clean.append(t)
+        i += 1
+    return clean, annotations
+
+
+def has_toplevel_paren(tokens):
+    """True when a '(' occurs outside template angle brackets."""
+    angle = 0
+    prev = None
+    for t in tokens:
+        if t.text == "<" and prev is not None and (
+            prev.kind == "ident" or prev.text in (">", "::")
+        ):
+            angle += 1
+        elif t.text == ">" and angle > 0:
+            angle -= 1
+        elif t.text == "(" and angle == 0:
+            return True
+        prev = t
+    return False
+
+
+def normalize_mutex_key(arg_tokens, class_name):
+    """Canonical identity for a mutex expression.
+
+    A bare member name is qualified by the enclosing class so the same lock
+    unifies across translation units; dotted/arrow expressions keep their
+    spelling (`done.mu`); `this->mu_` drops the `this->`.
+    """
+    texts = [t.text for t in arg_tokens]
+    while len(texts) >= 3 and texts[0] == "this" and texts[1] == "-" and texts[2] == ">":
+        texts = texts[3:]
+    expr = "".join(texts)
+    if re.fullmatch(r"[A-Za-z_]\w*", expr) and class_name:
+        return f"{class_name}::{expr}"
+    return expr
+
+
+class _StructureParser:
+    """Single pass over the token stream building classes and functions."""
+
+    def __init__(self, model: FileModel):
+        self.m = model
+        self.tokens = model.tokens
+        # Scope stack entries: dict(kind=..., name=..., cls=ClassScope|None)
+        self.stack = []
+
+    def run(self):
+        buf = []
+        i = 0
+        n = len(self.tokens)
+        while i < n:
+            t = self.tokens[i]
+            if t.kind == "pp":
+                i += 1
+                continue
+            if t.kind != "punct":
+                buf.append(t)
+                i += 1
+                continue
+            if t.text == ";":
+                self._end_decl(buf)
+                buf = []
+                i += 1
+                continue
+            if t.text == ":" and len(buf) == 1 and buf[0].text in _ACCESS_SPECIFIERS:
+                buf = []
+                i += 1
+                continue
+            if t.text == "{":
+                i, buf = self._open_brace(buf, i)
+                continue
+            if t.text == "}":
+                if self.stack:
+                    self.stack.pop()
+                buf = []
+                i += 1
+                continue
+            buf.append(t)
+            i += 1
+        # no trailing decl handling needed: well-formed files end scopes.
+
+    # -- scope handling ---------------------------------------------------
+
+    def _current_class(self) -> Optional[ClassScope]:
+        for entry in reversed(self.stack):
+            if entry["kind"] == "class":
+                return entry["cls"]
+            if entry["kind"] in ("enum", "skip"):
+                return None
+        return None
+
+    def _class_prefix(self):
+        names = [e["cls"].name for e in self.stack if e["kind"] == "class"]
+        return "::".join(names)
+
+    def _open_brace(self, buf, i):
+        """Handles a '{' at declaration scope; returns (next_index, new_buf)."""
+        clean, annotations = strip_annotations(buf)
+        texts = [t.text for t in clean]
+
+        if "enum" in texts:
+            self.stack.append({"kind": "enum", "cls": None})
+            return i + 1, []
+        if "namespace" in texts or (texts and texts[0] == "extern"):
+            self.stack.append({"kind": "namespace", "cls": None})
+            return i + 1, []
+        if any(k in texts for k in ("class", "struct", "union")) and not \
+                has_toplevel_paren(clean):
+            name = self._class_name(clean)
+            prefix = self._class_prefix()
+            qualified = f"{prefix}::{name}" if prefix else name
+            cls = ClassScope(name, qualified, buf[0].line if buf else 1)
+            self.m.classes.append(cls)
+            self.stack.append({"kind": "class", "cls": cls})
+            return i + 1, []
+        if has_toplevel_paren(clean):
+            prev = buf[-1] if buf else None
+            prev_ok = prev is not None and (
+                prev.text in _BODY_PREV_OK or prev.kind == "ident"
+            )
+            if prev_ok:
+                return self._capture_function(buf, clean, annotations, i), []
+        # In a class, an initializer brace belongs to the member decl.
+        if self._current_class() is not None:
+            end = self._match_brace(i)
+            buf.extend(self.tokens[i : end + 1])
+            return end + 1, buf
+        # Unknown construct (namespace-scope initializer, lambda, ...): skip.
+        end = self._match_brace(i)
+        return end + 1, []
+
+    def _match_brace(self, i):
+        depth = 0
+        n = len(self.tokens)
+        while i < n:
+            txt = self.tokens[i].text
+            if self.tokens[i].kind == "punct":
+                if txt == "{":
+                    depth += 1
+                elif txt == "}":
+                    depth -= 1
+                    if depth == 0:
+                        return i
+            i += 1
+        return n - 1
+
+    def _capture_function(self, buf, clean, annotations, i):
+        end = self._match_brace(i)
+        body = self.tokens[i + 1 : end]
+        name, qualifier = self._function_name(clean)
+        cls = self._current_class()
+        class_name = cls.name if cls is not None else qualifier
+        requires = [a.args for a in annotations if a.name == "QCLUSTER_REQUIRES"]
+        begin = buf[0].line if buf else self.tokens[i].line
+        self.m.functions.append(
+            FunctionScope(name, class_name, begin, self.tokens[end].line,
+                          body, requires)
+        )
+        return end + 1
+
+    @staticmethod
+    def _class_name(clean):
+        keyword_idx = None
+        for idx, t in enumerate(clean):
+            if t.text in ("class", "struct", "union"):
+                keyword_idx = idx
+        tail = clean[keyword_idx + 1 :] if keyword_idx is not None else clean
+        # Cut the base clause: a ':' that is not '::'.
+        cut = []
+        for t in tail:
+            if t.text == ":":
+                break
+            cut.append(t)
+        names = [t.text for t in cut if t.kind == "ident" and t.text != "final"]
+        return names[-1] if names else "<anon>"
+
+    @staticmethod
+    def _function_name(clean):
+        """(unqualified name, qualifier) from the declarator before '('."""
+        angle = 0
+        prev = None
+        head = []
+        for t in clean:
+            if t.text == "<" and prev is not None and (
+                prev.kind == "ident" or prev.text in (">", "::")
+            ):
+                angle += 1
+            elif t.text == ">" and angle > 0:
+                angle -= 1
+            elif t.text == "(" and angle == 0:
+                break
+            head.append(t)
+            prev = t
+        idents = [t.text for t in head if t.kind == "ident"]
+        if not idents:
+            return "<anon>", ""
+        name = idents[-1]
+        qualifier = ""
+        # `A::B::name(` — the ident before a '::' that directly precedes name.
+        for idx in range(len(head) - 1, 0, -1):
+            if head[idx].kind == "ident" and head[idx].text == name:
+                if idx >= 2 and head[idx - 1].text == "::" and \
+                        head[idx - 2].kind == "ident":
+                    qualifier = head[idx - 2].text
+                break
+        return name, qualifier
+
+    # -- member handling --------------------------------------------------
+
+    def _end_decl(self, buf):
+        cls = self._current_class()
+        if cls is None or not buf:
+            return
+        clean, annotations = strip_annotations(buf)
+        if not clean:
+            return
+        texts = [t.text for t in clean]
+        if texts[0] in _MEMBER_SKIP_LEAD or "operator" in texts:
+            return
+        if texts[0] in _ACCESS_SPECIFIERS:
+            return
+        if has_toplevel_paren(clean):
+            return  # Method declaration / ctor = default / function pointer.
+        # Cut at initializer or bitfield to isolate the declarator.
+        declarator = []
+        for t in clean:
+            if t.kind == "punct" and t.text in _NAME_STOPPERS:
+                break
+            declarator.append(t)
+        names = [t for t in declarator if t.kind == "ident"]
+        if not names:
+            return
+        name_tok = names[-1]
+        name = name_tok.text
+        if name in ("const", "static", "mutable", "volatile"):
+            return
+        dtexts = [t.text for t in declarator]
+        is_static = "static" in dtexts or "constexpr" in dtexts
+        is_ref = "&" in dtexts and "*" not in dtexts
+        # const member: a const that applies to the member itself — either
+        # `const T x` with no pointer in between, or `* const x`.
+        name_idx = dtexts[::-1].index(name)
+        name_idx = len(dtexts) - 1 - name_idx
+        const_before_name = name_idx > 0 and dtexts[name_idx - 1] == "const"
+        is_const = const_before_name or (
+            "const" in dtexts and "*" not in dtexts and "&" not in dtexts
+        )
+        cls.members.append(
+            Member(
+                name=name,
+                first_line=buf[0].line,
+                last_line=buf[-1].line,
+                texts=texts,
+                annotations=annotations,
+                is_static=is_static,
+                is_const=is_const,
+                is_reference=is_ref,
+                is_mutex="Mutex" in dtexts,
+                is_condvar="CondVar" in dtexts,
+                is_atomic="atomic" in dtexts or "atomic_flag" in dtexts,
+            )
+        )
+
+
+def load_file(path, mode="auto", args=None):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    return FileModel(path, lex(path, text, mode=mode, args=args))

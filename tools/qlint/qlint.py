@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""qlint — project-contract static analyzer for the qcluster tree.
+
+Encodes the invariants this repository's correctness story depends on (lock
+discipline through common/mutex.h, GUARDED_BY coverage, lock-order
+acyclicity, FP determinism in kernel code, justified Status discards,
+anchored env hooks, span attribute budgets) as enforceable checks. See
+docs/CORRECTNESS.md, "Project-contract lints", for the catalog and the
+waiver house rules.
+
+Usage:
+  tools/qlint/qlint.py src --compile-commands build/compile_commands.json
+  tools/qlint/qlint.py src --format json
+  tools/qlint/qlint.py --list-checks
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+
+Backends: with the libclang Python bindings installed the lexer is
+libclang's; otherwise a dependency-free token-level lexer runs the exact
+same checks, so the gate never silently skips (the active mode is recorded
+in every report). Stdlib only; no third-party imports required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from checks import (  # noqa: E402
+    CHECKS,
+    Project,
+    load_compile_commands,
+    run_checks,
+)
+from model import load_file  # noqa: E402
+from report import render_human, render_json, render_sarif  # noqa: E402
+
+_SOURCE_SUFFIXES = (".h", ".cc", ".cpp", ".cxx", ".hpp")
+
+
+def collect_sources(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(
+                    d for d in dirs if not d.startswith(".") and d != "build"
+                )
+                for name in sorted(names):
+                    if name.endswith(_SOURCE_SUFFIXES):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(p)
+    return sorted(set(files))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], prog="qlint"
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to scan")
+    parser.add_argument(
+        "--compile-commands",
+        help="compile_commands.json for FP flag verification (and libclang "
+        "parse arguments when that backend is active)",
+    )
+    parser.add_argument(
+        "--allow-missing-compile-commands",
+        action="store_true",
+        help="skip (explicitly) the compile-flag portion of fp-determinism "
+        "when no compilation database is available",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("auto", "tokens", "libclang"),
+        default="auto",
+        help="lexer backend: auto prefers libclang, falls back to the "
+        "dependency-free tokenizer (default: auto)",
+    )
+    parser.add_argument(
+        "--checks",
+        help="comma-separated subset of checks to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        help="stdout format (default: human)",
+    )
+    parser.add_argument(
+        "--json-output", help="additionally write the JSON report here"
+    )
+    parser.add_argument(
+        "--sarif-output", help="additionally write the SARIF report here"
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print the check catalog"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for check_id, description in sorted(CHECKS.items()):
+            print(f"{check_id:16s} {description}")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (and --list-checks not requested)")
+
+    enabled = None
+    if args.checks:
+        enabled = {c.strip() for c in args.checks.split(",") if c.strip()}
+        unknown = enabled - set(CHECKS)
+        if unknown:
+            print(
+                f"qlint: unknown check(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(CHECKS))})",
+                file=sys.stderr,
+            )
+            return 2
+
+    compile_commands = None
+    if args.compile_commands:
+        try:
+            compile_commands = load_compile_commands(args.compile_commands)
+        except (OSError, ValueError) as err:
+            print(
+                f"qlint: cannot read compile commands "
+                f"{args.compile_commands}: {err}",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        sources = collect_sources(args.paths)
+    except FileNotFoundError as err:
+        print(f"qlint: no such file or directory: {err}", file=sys.stderr)
+        return 2
+    if not sources:
+        print("qlint: no C++ sources found under the given paths",
+              file=sys.stderr)
+        return 2
+
+    lex_mode = "tokens" if args.mode == "tokens" else args.mode
+    models = {}
+    backends = set()
+    for path in sources:
+        parse_args = None
+        if compile_commands is not None and lex_mode != "tokens":
+            cmd = compile_commands.get(os.path.normpath(os.path.abspath(path)))
+            if cmd:
+                # Compiler argv minus the compiler itself and -o/-c noise.
+                parts = cmd.split()
+                parse_args = [
+                    a for a in parts[1:]
+                    if a.startswith(("-I", "-D", "-std", "-f", "-W", "-m"))
+                ]
+        try:
+            model = load_file(
+                path,
+                mode="auto" if lex_mode == "auto" else lex_mode,
+                args=parse_args,
+            )
+        except RuntimeError as err:
+            print(f"qlint: {err}", file=sys.stderr)
+            return 2
+        models[path] = model
+        backends.add(model.backend)
+
+    mode = "libclang" if backends == {"libclang"} else (
+        "mixed" if len(backends) > 1 else "tokens"
+    )
+    project = Project(
+        models,
+        compile_commands,
+        allow_missing_compile_commands=args.allow_missing_compile_commands,
+    )
+    findings = run_checks(project, enabled)
+
+    if args.format == "human":
+        sys.stdout.write(render_human(findings, len(models), mode))
+    elif args.format == "json":
+        sys.stdout.write(render_json(findings, len(models), mode, enabled))
+    else:
+        sys.stdout.write(render_sarif(findings, mode))
+    if args.json_output:
+        with open(args.json_output, "w", encoding="utf-8") as f:
+            f.write(render_json(findings, len(models), mode, enabled))
+    if args.sarif_output:
+        with open(args.sarif_output, "w", encoding="utf-8") as f:
+            f.write(render_sarif(findings, mode))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

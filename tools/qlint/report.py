@@ -1,0 +1,96 @@
+"""Finding reporters: human text, JSON, and SARIF 2.1.0."""
+
+from __future__ import annotations
+
+import json
+
+from checks import CHECKS
+
+JSON_SCHEMA = "qcluster.qlint.v1"
+
+
+def render_human(findings, files_scanned, mode):
+    lines = []
+    for f in findings:
+        lines.append(f"{f.path}:{f.line}: error: [{f.check}] {f.message}")
+    if findings:
+        by_check = {}
+        for f in findings:
+            by_check[f.check] = by_check.get(f.check, 0) + 1
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(by_check.items()))
+        lines.append(
+            f"qlint: {len(findings)} finding(s) in {files_scanned} file(s) "
+            f"({summary}) [mode: {mode}]"
+        )
+    else:
+        lines.append(
+            f"qlint: clean — {files_scanned} file(s), 0 findings "
+            f"[mode: {mode}]"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings, files_scanned, mode, enabled):
+    doc = {
+        "schema": JSON_SCHEMA,
+        "mode": mode,
+        "files_scanned": files_scanned,
+        "checks": sorted(enabled if enabled is not None else CHECKS),
+        "finding_count": len(findings),
+        "findings": [
+            {
+                "check": f.check,
+                "file": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(findings, mode):
+    rules = [
+        {
+            "id": check_id,
+            "shortDescription": {"text": description},
+        }
+        for check_id, description in sorted(CHECKS.items())
+    ]
+    results = [
+        {
+            "ruleId": f.check,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": f.line},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "qlint",
+                        "informationUri":
+                            "docs/CORRECTNESS.md#project-contract-lints",
+                        "version": "1.0.0",
+                        "properties": {"mode": mode},
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
