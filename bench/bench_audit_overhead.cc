@@ -72,7 +72,7 @@ void PrintOverheadTable() {
   const double off_ms = MeasureSessionMillis(false);
   const double on_ms = MeasureSessionMillis(true);
   const long long violations =
-      qcluster::MetricsRegistry::Global().counter("audit.violations").value();
+      qcluster::MetricsRegistry::Global().counter("audit.violations")->value();
   std::printf("audit off: %9.3f ms / session\n", off_ms);
   std::printf("audit on : %9.3f ms / session  (x%.2f)\n", on_ms,
               off_ms > 0.0 ? on_ms / off_ms : 0.0);

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Triage gate for the Clang Static Analyzer leg (bench/run_analyze.sh).
+
+Reads every per-TU plist the analyzer produced, matches each diagnostic
+against the committed triage file (bench/analyze_triage.json), and
+enforces the zero-untriaged-findings contract:
+
+  * a diagnostic with no matching triage entry fails the gate — fix it or
+    add a reason-annotated entry;
+  * a triage entry that matches no diagnostic is stale and also fails —
+    entries must be removed once the finding is gone;
+  * every surviving (triaged) diagnostic still lands in the SARIF output
+    so code scanning shows the suppressed history.
+
+Triage file schema (committed, reviewed like code):
+
+  {"schema": "qcluster.analyze-triage.v1",
+   "entries": [{"file": "src/...", "checker": "...",
+                "contains": "<message substring>",
+                "reason": "<why this is a false positive / accepted>"}]}
+
+Exit codes: 0 clean, 1 untriaged findings or stale triage entries,
+2 configuration error. Stdlib only (plistlib, json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import plistlib
+import sys
+
+
+def load_triage(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return []
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"check_analyze: cannot read triage {path}: {err}")
+    if doc.get("schema") != "qcluster.analyze-triage.v1":
+        raise SystemExit(
+            f"check_analyze: {path} has unknown schema "
+            f"{doc.get('schema')!r} (want qcluster.analyze-triage.v1)")
+    entries = doc.get("entries", [])
+    for i, e in enumerate(entries):
+        for key in ("file", "checker", "contains", "reason"):
+            if not e.get(key):
+                raise SystemExit(
+                    f"check_analyze: triage entry #{i} is missing '{key}' — "
+                    "every suppression needs a file, checker, message "
+                    "substring, and a justification")
+    return entries
+
+
+def collect_diagnostics(plist_dir, repo_root):
+    diags = []
+    for name in sorted(os.listdir(plist_dir)):
+        if not name.endswith(".plist"):
+            continue
+        path = os.path.join(plist_dir, name)
+        try:
+            with open(path, "rb") as f:
+                doc = plistlib.load(f)
+        except Exception as err:  # Malformed plist = configuration error.
+            raise SystemExit(f"check_analyze: cannot parse {path}: {err}")
+        files = doc.get("files", [])
+        for d in doc.get("diagnostics", []):
+            loc = d.get("location", {})
+            file_idx = loc.get("file", 0)
+            file_path = files[file_idx] if file_idx < len(files) else ""
+            rel = os.path.relpath(file_path, repo_root) if file_path else ""
+            diags.append({
+                "file": rel,
+                "line": int(loc.get("line", 0)),
+                "checker": d.get("check_name", d.get("category", "unknown")),
+                "message": d.get("description", ""),
+            })
+    return diags
+
+
+def match(diag, entry):
+    return (diag["file"] == entry["file"]
+            and diag["checker"] == entry["checker"]
+            and entry["contains"] in diag["message"])
+
+
+def render_sarif(diags, untriaged_keys):
+    rules = sorted({d["checker"] for d in diags})
+    results = []
+    for i, d in enumerate(diags):
+        results.append({
+            "ruleId": d["checker"],
+            "level": "error" if i in untriaged_keys else "note",
+            "message": {"text": d["message"]},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": d["file"]},
+                    "region": {"startLine": max(1, d["line"])},
+                }
+            }],
+        })
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "clang-analyzer",
+                    "informationUri":
+                        "docs/CORRECTNESS.md#interprocedural-lints",
+                    "rules": [{"id": r} for r in rules],
+                }
+            },
+            "results": results,
+        }],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--plist-dir", required=True)
+    parser.add_argument("--repo-root", required=True)
+    parser.add_argument("--triage", required=True)
+    parser.add_argument("--sarif-output")
+    parser.add_argument("--summary-output")
+    args = parser.parse_args(argv)
+
+    triage = load_triage(args.triage)
+    diags = collect_diagnostics(args.plist_dir, args.repo_root)
+
+    used = [False] * len(triage)
+    untriaged = []
+    for i, d in enumerate(diags):
+        matched = False
+        for j, e in enumerate(triage):
+            if match(d, e):
+                used[j] = True
+                matched = True
+        if not matched:
+            untriaged.append(i)
+
+    stale = [triage[j] for j, u in enumerate(used) if not u]
+
+    if args.sarif_output:
+        with open(args.sarif_output, "w", encoding="utf-8") as f:
+            json.dump(render_sarif(diags, set(untriaged)), f, indent=2,
+                      sort_keys=True)
+            f.write("\n")
+    if args.summary_output:
+        with open(args.summary_output, "w", encoding="utf-8") as f:
+            json.dump({
+                "schema": "qcluster.analyze-summary.v1",
+                "diagnostics": len(diags),
+                "untriaged": len(untriaged),
+                "triaged": len(diags) - len(untriaged),
+                "stale_triage_entries": len(stale),
+            }, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    for i in untriaged:
+        d = diags[i]
+        print(f"{d['file']}:{d['line']}: error: [{d['checker']}] "
+              f"{d['message']}")
+    for e in stale:
+        print(f"check_analyze: stale triage entry for {e['file']} "
+              f"[{e['checker']}] ({e['reason']!r}) matches no diagnostic — "
+              "remove it")
+
+    if untriaged or stale:
+        print(f"check_analyze: {len(untriaged)} untriaged finding(s), "
+              f"{len(stale)} stale triage entr(y/ies) over "
+              f"{len(diags)} diagnostic(s)")
+        return 1
+    print(f"check_analyze: clean — {len(diags)} diagnostic(s), all triaged "
+          f"({len(triage)} entr(y/ies))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

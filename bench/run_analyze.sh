@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Clang Static Analyzer driver: runs `clang++ --analyze` over every
+# first-party translation unit in the compilation database and gates on the
+# triaged-zero-findings contract via bench/check_analyze.py. Usage:
+#
+#   bench/run_analyze.sh [build-dir]
+#
+# Defaults to build/ next to the repo root; the tree is (re)configured if it
+# has no compile_commands.json yet (shared bootstrap with run_qlint.sh and
+# run_tidy.sh). Environment:
+#
+#   QCLUSTER_CLANGXX          analyzer compiler (default: clang++ on PATH)
+#   QCLUSTER_ANALYZE_REQUIRE  1 = missing clang++ is an error (CI sets this;
+#                             locally a toolchain without clang skips with
+#                             exit 0 so dev machines stay green)
+#   QCLUSTER_ANALYZE_JOBS     parallel analyses (default: nproc)
+#
+# Outputs land in <build-dir>/analyze/: one .plist per TU, the aggregated
+# analyze.sarif, and analyze_summary.json. Exit codes: 0 clean (or skipped),
+# 1 untriaged findings / stale triage entries, 2 configuration error.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build"
+if [[ $# -gt 0 ]]; then
+  build_dir="$1"
+  shift
+fi
+
+clangxx="${QCLUSTER_CLANGXX:-clang++}"
+if ! command -v "${clangxx}" > /dev/null 2>&1; then
+  if [[ "${QCLUSTER_ANALYZE_REQUIRE:-0}" == "1" ]]; then
+    echo "error: '${clangxx}' not found but QCLUSTER_ANALYZE_REQUIRE=1" >&2
+    exit 2
+  fi
+  echo "==> clang static analyzer: '${clangxx}' not found, skipping" \
+       "(set QCLUSTER_ANALYZE_REQUIRE=1 to make this an error)"
+  exit 0
+fi
+
+python=""
+for candidate in python3 python; do
+  if command -v "${candidate}" > /dev/null 2>&1; then
+    python="${candidate}"
+    break
+  fi
+done
+if [[ -z "${python}" ]]; then
+  echo "error: no python3 found on PATH" >&2
+  exit 2
+fi
+
+# shellcheck source=bench/compile_db.sh
+source "${repo_root}/bench/compile_db.sh"
+ensure_compile_db
+
+out_dir="${build_dir}/analyze"
+mkdir -p "${out_dir}"
+rm -f "${out_dir}"/*.plist
+
+jobs="${QCLUSTER_ANALYZE_JOBS:-$(nproc 2> /dev/null || echo 4)}"
+echo "==> clang static analyzer ($("${clangxx}" --version | head -n1))"
+echo "==> analyzing first-party TUs from ${build_dir}/compile_commands.json" \
+     "with ${jobs} job(s)"
+
+# Emit one "<plist-path>\0<TU argv...>" record per first-party TU; xargs
+# fans the analyses out. Flag extraction mirrors qlint's: include dirs,
+# defines, and language/std flags carry over; -o/-c and warning noise do
+# not (the analyzer wants neither).
+"${python}" - "${build_dir}/compile_commands.json" "${repo_root}" \
+    "${out_dir}" <<'PY' > "${out_dir}/analyze_cmds.txt"
+import json
+import os
+import shlex
+import sys
+
+db_path, repo_root, out_dir = sys.argv[1], sys.argv[2], sys.argv[3]
+src_root = os.path.join(repo_root, "src") + os.sep
+with open(db_path, encoding="utf-8") as f:
+    entries = json.load(f)
+seen = set()
+for entry in entries:
+    path = os.path.normpath(
+        os.path.join(entry.get("directory", "."), entry["file"]))
+    if not path.startswith(src_root) or path in seen:
+        continue
+    seen.add(path)
+    args = (shlex.split(entry["command"])
+            if "command" in entry else list(entry["arguments"]))
+    kept = []
+    skip_next = False
+    for a in args[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-o", "-c"):
+            skip_next = a == "-o"
+            continue
+        if a.startswith(("-I", "-D", "-std", "-isystem")):
+            kept.append(a)
+    rel = os.path.relpath(path, repo_root)
+    plist = os.path.join(out_dir, rel.replace(os.sep, "__") + ".plist")
+    print("\t".join([plist, path, *kept]))
+PY
+
+total=$(wc -l < "${out_dir}/analyze_cmds.txt")
+if [[ "${total}" -eq 0 ]]; then
+  echo "error: no first-party TUs found in the compilation database" >&2
+  exit 2
+fi
+
+analyze_one() {
+  local line="$1"
+  local plist tu
+  IFS=$'\t' read -r -a parts <<< "${line}"
+  plist="${parts[0]}"
+  tu="${parts[1]}"
+  "${ANALYZE_CLANGXX}" --analyze \
+    --analyzer-output plist \
+    -Xclang -analyzer-checker=core,deadcode,cplusplus,unix \
+    -o "${plist}" \
+    "${parts[@]:2}" \
+    "${tu}" > /dev/null 2> "${plist}.log" || {
+      echo "error: analyzer failed on ${tu}:" >&2
+      cat "${plist}.log" >&2
+      return 1
+    }
+}
+export -f analyze_one
+export ANALYZE_CLANGXX="${clangxx}"
+
+xargs -P "${jobs}" -d '\n' -I {} bash -c 'analyze_one "$@"' _ {} \
+  < "${out_dir}/analyze_cmds.txt"
+
+echo "==> analyzed ${total} TU(s); checking findings against" \
+     "bench/analyze_triage.json"
+"${python}" "${repo_root}/bench/check_analyze.py" \
+  --plist-dir "${out_dir}" \
+  --repo-root "${repo_root}" \
+  --triage "${repo_root}/bench/analyze_triage.json" \
+  --sarif-output "${out_dir}/analyze.sarif" \
+  --summary-output "${out_dir}/analyze_summary.json"

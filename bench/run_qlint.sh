@@ -8,9 +8,10 @@
 #
 # Defaults to build/ next to the repo root; the tree is (re)configured if it
 # has no compile_commands.json yet (shared bootstrap with run_tidy.sh).
-# QLINT_JSON overrides the report path (default:
-# <build-dir>/qlint_report.json). Exit codes follow qlint: 0 clean,
-# 1 findings, 2 configuration error.
+# QLINT_JSON overrides the JSON report path (default:
+# <build-dir>/qlint_report.json); QLINT_SARIF the SARIF report path
+# (default: <build-dir>/qlint.sarif, uploaded to code scanning by CI).
+# Exit codes follow qlint: 0 clean, 1 findings, 2 configuration error.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -42,12 +43,16 @@ source "${repo_root}/bench/compile_db.sh"
 ensure_compile_db
 
 report="${QLINT_JSON:-${build_dir}/qlint_report.json}"
+sarif="${QLINT_SARIF:-${build_dir}/qlint.sarif}"
 cd "${repo_root}"
 echo "==> qlint over src/ (database: ${build_dir}/compile_commands.json)"
 # Extra flags (and any extra fixture paths) go before the positional src so
-# argparse sees one contiguous positional group.
+# argparse sees one contiguous positional group. The human report on stdout
+# includes the per-check finding/runtime table for the CI log.
 "${python}" tools/qlint/qlint.py \
   --compile-commands "${build_dir}/compile_commands.json" \
   --json-output "${report}" \
+  --sarif-output "${sarif}" \
   "${extra_flags[@]}" src
 echo "==> qlint report: ${report}"
+echo "==> qlint SARIF:  ${sarif}"

@@ -26,7 +26,7 @@ namespace internal {
 void ReportAuditViolation(const Status& status, const char* file, int line) {
   // Counted unconditionally (not gated by MetricsEnabled): the whole point
   // of `audit.violations` is that a clean audited run can assert it is 0.
-  MetricsRegistry::Global().counter("audit.violations").Add(1);
+  MetricsRegistry::Global().counter("audit.violations")->Add(1);
   internal::LogMessage(LogLevel::kError, file, line)
       << "audit violation: " << status.ToString();
 }

@@ -142,33 +142,33 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
-Counter& MetricsRegistry::counter(std::string_view name) {
+std::shared_ptr<Counter> MetricsRegistry::counter(std::string_view name) {
   MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+    it = counters_.emplace(std::string(name), std::make_shared<Counter>())
              .first;
   }
-  return *it->second;
+  return it->second;
 }
 
-Gauge& MetricsRegistry::gauge(std::string_view name) {
+std::shared_ptr<Gauge> MetricsRegistry::gauge(std::string_view name) {
   MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    it = gauges_.emplace(std::string(name), std::make_shared<Gauge>()).first;
   }
-  return *it->second;
+  return it->second;
 }
 
-Histogram& MetricsRegistry::histogram(std::string_view name) {
+std::shared_ptr<Histogram> MetricsRegistry::histogram(std::string_view name) {
   MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+    it = histograms_.emplace(std::string(name), std::make_shared<Histogram>())
              .first;
   }
-  return *it->second;
+  return it->second;
 }
 
 long long MetricsRegistry::CounterValue(std::string_view name) const {
@@ -267,17 +267,17 @@ void SetMetricsEnabled(bool enabled) {
 
 void MetricAdd(std::string_view name, long long delta) {
   if (!MetricsEnabled()) return;
-  MetricsRegistry::Global().counter(name).Add(delta);
+  MetricsRegistry::Global().counter(name)->Add(delta);
 }
 
 void MetricGauge(std::string_view name, double value) {
   if (!MetricsEnabled()) return;
-  MetricsRegistry::Global().gauge(name).Set(value);
+  MetricsRegistry::Global().gauge(name)->Set(value);
 }
 
 void MetricRecord(std::string_view name, double value) {
   if (!MetricsEnabled()) return;
-  MetricsRegistry::Global().histogram(name).Record(value);
+  MetricsRegistry::Global().histogram(name)->Record(value);
 }
 
 namespace internal {

@@ -97,8 +97,11 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
-/// Owner of every named metric. Metric objects live for the registry's
-/// lifetime, so call sites may cache the returned references.
+/// Owner of every named metric. Metric objects are shared-owned: the
+/// registry holds one reference and every handed-out handle holds its own,
+/// so cached handles stay valid (recording into a detached object) even
+/// across Reset. Call sites may therefore cache the returned handles for
+/// the process lifetime.
 class MetricsRegistry {
  public:
   /// The process-wide registry used by all instrumentation.
@@ -108,10 +111,12 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// Create-or-get. Thread-safe; the reference stays valid until Reset.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  /// Create-or-get. Thread-safe; the handle co-owns the metric, so it
+  /// outlives Reset (a reset detaches it from the registry's exports but
+  /// never dangles).
+  std::shared_ptr<Counter> counter(std::string_view name);
+  std::shared_ptr<Gauge> gauge(std::string_view name);
+  std::shared_ptr<Histogram> histogram(std::string_view name);
 
   /// Read access for tests and exporters. nullopt / 0 when the metric has
   /// never been touched.
@@ -140,11 +145,11 @@ class MetricsRegistry {
 
  private:
   mutable Mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+  std::map<std::string, std::shared_ptr<Counter>, std::less<>> counters_
       QCLUSTER_GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+  std::map<std::string, std::shared_ptr<Gauge>, std::less<>> gauges_
       QCLUSTER_GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+  std::map<std::string, std::shared_ptr<Histogram>, std::less<>> histograms_
       QCLUSTER_GUARDED_BY(mu_);
 };
 

@@ -106,15 +106,16 @@ FeatureDatabase FeatureDatabase::FromRawFeatures(std::vector<Vector> raw,
                          std::move(themes), std::move(pca).value());
 }
 
-const index::FilterRefineIndex& FeatureDatabase::filter_refine_index(
-    int pca_dims) const {
+std::shared_ptr<const index::FilterRefineIndex>
+FeatureDatabase::filter_refine_index(int pca_dims) const {
   MutexLock lock(fr_cache_->mu);
-  std::unique_ptr<index::FilterRefineIndex>& slot =
+  std::shared_ptr<const index::FilterRefineIndex>& slot =
       fr_cache_->by_dims[pca_dims];
   if (slot == nullptr) {
-    slot = std::make_unique<index::FilterRefineIndex>(flat_.view(), pca_dims);
+    slot = std::make_shared<const index::FilterRefineIndex>(flat_.view(),
+                                                            pca_dims);
   }
-  return *slot;
+  return slot;
 }
 
 }  // namespace qcluster::dataset

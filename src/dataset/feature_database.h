@@ -56,6 +56,7 @@ class FeatureDatabase {
   /// The same features as one contiguous row-major block — the SoA layout
   /// the batched distance kernels scan. Stays valid for the database's
   /// lifetime; hand it to LinearScanIndex(FlatView) for a zero-copy index.
+  // qlint: snapshot(valid for the database's lifetime; storage is immutable)
   linalg::FlatView flat_view() const { return flat_.view(); }
 
   /// A filter-and-refine index over this database's flat block, built on
@@ -63,9 +64,10 @@ class FeatureDatabase {
   /// (the index's projected block is itself a second contiguous FlatBlock,
   /// rebuilt lazily whenever the querying metric's covariance changes — see
   /// index::FilterRefineIndex). Zero-copy: the index scans flat_view().
-  /// The reference stays valid for the database's lifetime. Thread-safe.
-  [[nodiscard]] const index::FilterRefineIndex& filter_refine_index(
-      int pca_dims) const;
+  /// Shared ownership: the handle co-owns the index, so it stays valid even
+  /// past the cache's (and database's) lifetime. Thread-safe.
+  [[nodiscard]] std::shared_ptr<const index::FilterRefineIndex>
+  filter_refine_index(int pca_dims) const;
 
   const std::vector<int>& categories() const { return categories_; }
   const std::vector<int>& themes() const { return themes_; }
@@ -83,12 +85,13 @@ class FeatureDatabase {
 
   /// Lazily-built filter-and-refine indexes keyed by their pca_dims
   /// argument. Held behind a shared_ptr so the database stays movable
-  /// (a Mutex is not) and handed-out index references survive moves. The
-  /// indexes themselves are never erased, so references returned while the
-  /// lock was held stay valid after it is released.
+  /// (a Mutex is not) and handed-out index handles survive moves. Each
+  /// index is itself shared-owned: filter_refine_index() copies the
+  /// shared_ptr out under the lock, so callers never hold a raw reference
+  /// into the guarded map.
   struct FilterRefineCache {
     Mutex mu;
-    std::map<int, std::unique_ptr<index::FilterRefineIndex>> by_dims
+    std::map<int, std::shared_ptr<const index::FilterRefineIndex>> by_dims
         QCLUSTER_GUARDED_BY(mu);
   };
 

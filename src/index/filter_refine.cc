@@ -69,25 +69,37 @@ ThreadPool& FilterRefineIndex::pool() const {
 }
 
 std::shared_ptr<const FilterRefineIndex::Projection>
+FilterRefineIndex::CachedProjectionLocked(const QuadraticDecomposition& decomp,
+                                          int reduced) const {
+  if (cache_ == nullptr || cache_->reduced != reduced ||
+      cache_->key_diagonals.size() != decomp.components.size()) {
+    return nullptr;
+  }
+  for (std::size_t i = 0; i < decomp.components.size(); ++i) {
+    const QuadraticComponent& c = decomp.components[i];
+    if (c.diagonal.empty()) {
+      if (!cache_->key_diagonals[i].empty() ||
+          cache_->key_fulls[i] != c.full) {
+        return nullptr;
+      }
+    } else if (cache_->key_diagonals[i] != c.diagonal) {
+      return nullptr;
+    }
+  }
+  return cache_;
+}
+
+std::shared_ptr<const FilterRefineIndex::Projection>
 FilterRefineIndex::EnsureProjection(const QuadraticDecomposition& decomp,
                                     int reduced, bool* reused) const {
-  MutexLock lock(mu_);
   if (reused != nullptr) *reused = false;
-  if (cache_ != nullptr && cache_->reduced == reduced &&
-      cache_->key_diagonals.size() == decomp.components.size()) {
-    bool match = true;
-    for (std::size_t i = 0; i < decomp.components.size() && match; ++i) {
-      const QuadraticComponent& c = decomp.components[i];
-      if (c.diagonal.empty()) {
-        match = cache_->key_diagonals[i].empty() &&
-                cache_->key_fulls[i] == c.full;
-      } else {
-        match = cache_->key_diagonals[i] == c.diagonal;
-      }
-    }
-    if (match) {
+  {
+    MutexLock lock(mu_);
+    std::shared_ptr<const Projection> hit =
+        CachedProjectionLocked(decomp, reduced);
+    if (hit != nullptr) {
       if (reused != nullptr) *reused = true;
-      return cache_;
+      return hit;
     }
   }
 
@@ -143,6 +155,14 @@ FilterRefineIndex::EnsureProjection(const QuadraticDecomposition& decomp,
     built->block =
         linalg::FlatBlock::FromRaw(std::move(data), view_.n, width);
   }
+
+  MutexLock lock(mu_);
+  // Another thread may have finished an equivalent rebuild while this one
+  // ran unlocked; adopt theirs so concurrent callers converge on a single
+  // projection and rebuilds_ counts installs, not racing refits.
+  std::shared_ptr<const Projection> winner =
+      CachedProjectionLocked(decomp, reduced);
+  if (winner != nullptr) return winner;
   cache_ = std::move(built);
   ++rebuilds_;
   MetricAdd("index.filter_refine.rebuilds");

@@ -104,10 +104,16 @@ class FilterRefineIndex final : public KnnIndex {
 
   /// `*reused` (optional) reports whether the cached projection matched —
   /// i.e. the metric's covariance structure is unchanged since the last
-  /// search on this index.
+  /// search on this index. The (expensive) projector refit and block
+  /// repack run outside mu_; only the cache probe and install hold it.
   std::shared_ptr<const Projection> EnsureProjection(
       const QuadraticDecomposition& decomp, int reduced,
       bool* reused = nullptr) const;
+
+  /// cache_ when it matches (decomp, reduced), else nullptr.
+  std::shared_ptr<const Projection> CachedProjectionLocked(
+      const QuadraticDecomposition& decomp, int reduced) const
+      QCLUSTER_REQUIRES(mu_);
 
   /// Shared pipeline body. When `warm` is non-null the survivor bound is
   /// tightened to min(θ_seed, θ₀), this round's result is recorded back

@@ -104,6 +104,8 @@ class FlatBlock {
     return block;
   }
 
+  /// Non-owning window over the packed rows.
+  // qlint: snapshot(valid until the owning block is destroyed or moved)
   FlatView view() const { return FlatView{data_.data(), n_, dim_}; }
   std::size_t size() const { return n_; }
   int dim() const { return dim_; }

@@ -9,6 +9,8 @@
 #include "index/filter_refine.h"
 
 #include <cmath>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -278,6 +280,36 @@ TEST(FilterRefineIndexTest, CachesProjectionPerCovariance) {
   EXPECT_EQ(filter.rebuilds(), 2);  // Same weights hit the cache again.
 }
 
+TEST(FilterRefineIndexTest, ConcurrentFirstSearchesInstallOneProjection) {
+  // The projector refit and block repack run outside the cache mutex (the
+  // repack fans out on the thread pool, and blocking there while holding
+  // the lock would stall every concurrent searcher). Racing first-time
+  // searches may refit redundantly, but exactly one projection wins the
+  // install, everyone returns oracle-exact results, and rebuilds() counts
+  // installs — not the racing refits.
+  Rng rng(33);
+  const std::vector<Vector> pts = TieHeavyPoints(300, rng);
+  const FilterRefineIndex filter(&pts, 4);
+  const LinearScanIndex oracle(&pts);
+  const std::vector<Neighbor> expected =
+      oracle.Search(EuclideanDistance(pts[0]), 10);
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<Neighbor>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&filter, &got, &pts, t] {
+      got[static_cast<std::size_t>(t)] =
+          filter.Search(EuclideanDistance(pts[0]), 10);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (const auto& result : got) EXPECT_EQ(result, expected);
+  EXPECT_EQ(filter.rebuilds(), 1);
+}
+
 TEST(FilterRefineIndexTest, RecordsRegistryMetrics) {
   auto& registry = MetricsRegistry::Global();
   const long long searches_before =
@@ -332,14 +364,14 @@ TEST(FilterRefineIndexTest, FeatureDatabaseSharesIndexPerDims) {
   }
   const dataset::FeatureDatabase db = dataset::FeatureDatabase::FromRawFeatures(
       std::move(raw), std::move(categories), std::move(themes), 6);
-  const FilterRefineIndex& a = db.filter_refine_index(3);
-  const FilterRefineIndex& b = db.filter_refine_index(3);
-  EXPECT_EQ(&a, &b);  // One shared index per pca_dims.
-  EXPECT_NE(&a, &db.filter_refine_index(2));
+  const std::shared_ptr<const FilterRefineIndex> a = db.filter_refine_index(3);
+  const std::shared_ptr<const FilterRefineIndex> b = db.filter_refine_index(3);
+  EXPECT_EQ(a.get(), b.get());  // One shared index per pca_dims.
+  EXPECT_NE(a.get(), db.filter_refine_index(2).get());
 
   const EuclideanDistance dist(db.features()[0]);
   const LinearScanIndex oracle(db.flat_view());
-  EXPECT_EQ(a.Search(dist, 15), oracle.Search(dist, 15));
+  EXPECT_EQ(a->Search(dist, 15), oracle.Search(dist, 15));
 }
 
 TEST(FilterRefineIndexTest, HandlesDegenerateThetaAllDuplicates) {

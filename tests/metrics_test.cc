@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -302,6 +303,32 @@ TEST_F(MetricsTest, ResetDropsEverything) {
   EXPECT_EQ(MetricsRegistry::Global().CounterValue("reset.counter"), 0);
   EXPECT_FALSE(
       MetricsRegistry::Global().HistogramSnapshot("reset.hist").has_value());
+}
+
+TEST_F(MetricsTest, CachedHandlesSurviveReset) {
+  // Call sites are documented free to cache a metric handle for the
+  // process lifetime. A Reset must not invalidate such handles: the old
+  // object detaches from the registry's exports but stays recordable.
+  auto& registry = MetricsRegistry::Global();
+  const std::shared_ptr<Counter> counter = registry.counter("survive.counter");
+  const std::shared_ptr<Gauge> gauge = registry.gauge("survive.gauge");
+  const std::shared_ptr<Histogram> hist = registry.histogram("survive.hist");
+  counter->Add(3);
+  registry.Reset();
+
+  // Recording through the detached handles is safe (no dangling), and the
+  // detached state is preserved on the object itself...
+  counter->Add(4);
+  gauge->Set(2.5);
+  hist->Record(1e-3);
+  EXPECT_EQ(counter->value(), 7);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.5);
+  EXPECT_EQ(hist->snapshot().count, 1);
+
+  // ...while the registry's exports start from scratch: a fresh lookup is
+  // a new object with zeroed state.
+  EXPECT_EQ(registry.CounterValue("survive.counter"), 0);
+  EXPECT_NE(registry.counter("survive.counter").get(), counter.get());
 }
 
 }  // namespace

@@ -13,15 +13,26 @@ bench/run_qlint.sh use — over the fixture corpus in tools/qlint/fixtures/:
   * the suppression grammar's own failure modes (no reason, unknown check,
     malformed, unused) are each errors, and an unjustified waiver does not
     hide the finding it sits on;
+  * the interprocedural checks (requires-propagation, blocking-while-
+    locked, guarded-escape, snapshot-discipline) resolve their facts
+    across translation units: the two-TU fixtures fire only when every TU
+    is in the same scan;
+  * the clang-analyzer triage gate (bench/check_analyze.py) enforces
+    zero untriaged findings and no stale triage entries, and
+    bench/run_analyze.sh skips gracefully without clang++ unless
+    QCLUSTER_ANALYZE_REQUIRE=1;
   * exit codes: 0 clean, 1 findings, 2 configuration error;
   * JSON and SARIF reports are well-formed;
-  * the real src/ tree scans clean, so a new contract violation fails ctest.
+  * the real src/ tree scans clean, so a new contract violation fails
+    ctest — and the full scan stays inside its 10 s wall-time budget.
 
 Stdlib only; no build products required beyond python3.
 """
 
 import json
 import os
+import plistlib
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -211,6 +222,109 @@ class FixtureCorpusTest(unittest.TestCase):
     def test_span_attrs_quiet_with_child_span(self):
         self.assert_clean(*scan([fx("span_attrs", "ok.cc")]))
 
+    # -- requires-propagation (interprocedural) ---------------------------
+
+    _REQ = [
+        fx("requires_prop", "widget.h"),
+        fx("requires_prop", "impl.cc"),
+    ]
+
+    def test_requires_propagation_fires_cross_tu(self):
+        # The REQUIRES annotation lives on the header declaration; the bad
+        # caller sits in a different TU and is only caught when both are in
+        # the same scan.
+        code, doc, _ = scan(
+            self._REQ + [fx("requires_prop", "caller_violation.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "requires-propagation", 1)
+        f = doc["findings"][0]
+        self.assertTrue(f["file"].endswith("caller_violation.cc"))
+        self.assertIn("Shard::RehashLocked", f["message"])
+        self.assertIn("Shard::mu_", f["message"])
+
+    def test_requires_propagation_quiet_without_the_header(self):
+        # Single-TU scan of the caller: the contract is invisible, so the
+        # check stays conservative (this is exactly the hole the repo-wide
+        # symbol table closes).
+        self.assert_clean(
+            *scan([fx("requires_prop", "caller_violation.cc")]))
+
+    def test_requires_propagation_satisfied_callers_are_quiet(self):
+        # Lock held (member and receiver-qualified) or REQUIRES forwarded.
+        self.assert_clean(
+            *scan(self._REQ + [fx("requires_prop", "caller_ok.cc")]))
+
+    # -- blocking-while-locked (interprocedural) --------------------------
+
+    _BLOCKING = [
+        fx("blocking", "violation_io.cc"),
+        fx("blocking", "violation_journal.cc"),
+    ]
+
+    def test_blocking_fires_all_four_rules(self):
+        code, doc, _ = scan(self._BLOCKING)
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "blocking-while-locked", 4)
+        messages = " ".join(f["message"] for f in doc["findings"])
+        self.assertIn("ParallelFor dispatched while holding", messages)
+        self.assertIn("CondVar::Wait while additionally holding", messages)
+        self.assertIn("file/stream I/O ('ofstream')", messages)
+        self.assertIn("reaches file/stream I/O (via Checkpoint)", messages)
+        for f in doc["findings"]:
+            self.assertTrue(f["file"].endswith("violation_journal.cc"))
+
+    def test_blocking_transitive_rule_needs_the_callee_tu(self):
+        # Without violation_io.cc the Checkpoint() call cannot be resolved
+        # to a blocking body, so only the three direct rules fire.
+        code, doc, _ = scan([fx("blocking", "violation_journal.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "blocking-while-locked", 3)
+
+    def test_blocking_correct_patterns_are_quiet(self):
+        # Wait holding only its own mutex, dispatch/IO outside the lock,
+        # build-outside-install-under-lock.
+        self.assert_clean(*scan([fx("blocking", "ok.cc")]))
+
+    # -- guarded-escape (interprocedural) ---------------------------------
+
+    def test_guarded_escape_fires(self):
+        code, doc, _ = scan([fx("guarded_escape", "violation.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "guarded-escape", 3)
+        messages = " ".join(f["message"] for f in doc["findings"])
+        self.assertIn("Registry::items", messages)
+        self.assertIn("Registry::Find", messages)   # Laundered via a local.
+        self.assertIn("Registry::begin", messages)  # Iterator indirection.
+        self.assertIn("Registry::mu_", messages)
+
+    def test_guarded_escape_sanctioned_shapes_are_quiet(self):
+        # By-value copy, QCLUSTER_REQUIRES hand-off, justified escape-ok.
+        self.assert_clean(*scan([fx("guarded_escape", "ok.cc")]))
+
+    def test_guarded_escape_waiver_failure_modes(self):
+        code, doc, _ = scan([fx("guarded_escape", "stale_waiver.cc")])
+        self.assertEqual(code, 1)
+        # The reasonless escape-ok() suppresses nothing...
+        self.assert_fires(doc, "guarded-escape", 1)
+        # ...and both it and the stale waiver are errors themselves.
+        self.assert_fires(doc, "suppression", 2)
+        messages = " ".join(f["message"] for f in doc["findings"])
+        self.assertIn("carries no reason", messages)
+        self.assertIn("matches no finding", messages)
+
+    # -- snapshot-discipline ----------------------------------------------
+
+    def test_snapshot_discipline_fires(self):
+        code, doc, _ = scan([fx("snapshot", "violation.cc")])
+        self.assertEqual(code, 1)
+        self.assert_fires(doc, "snapshot-discipline", 2)
+        messages = " ".join(f["message"] for f in doc["findings"])
+        self.assertIn("RowStore::view", messages)          # Inline def.
+        self.assertIn("RowStore::snapshot_ref", messages)  # Decl site.
+
+    def test_snapshot_discipline_contract_satisfies(self):
+        self.assert_clean(*scan([fx("snapshot", "ok.cc")]))
+
     # -- suppression grammar ----------------------------------------------
 
     def test_suppression_failure_modes_are_errors(self):
@@ -255,12 +369,20 @@ class FixtureCorpusTest(unittest.TestCase):
     def test_json_report_schema(self):
         code, doc, _ = scan([fx("raw_sync", "violation.cc")])
         self.assertEqual(code, 1)
-        self.assertEqual(doc["schema"], "qcluster.qlint.v1")
+        self.assertEqual(doc["schema"], "qcluster.qlint.v2")
         self.assertEqual(doc["finding_count"], len(doc["findings"]))
         self.assertEqual(doc["files_scanned"], 1)
         for f in doc["findings"]:
             for key in ("check", "file", "line", "message"):
                 self.assertIn(key, f)
+        # v2 additions: wall time plus per-check finding/runtime breakdown.
+        self.assertIn("wall_time_seconds", doc)
+        self.assertGreaterEqual(doc["wall_time_seconds"], 0.0)
+        self.assertIn("per_check", doc)
+        for name, entry in doc["per_check"].items():
+            self.assertIn(name, doc["checks"], name)
+            self.assertIn("findings", entry)
+            self.assertIn("seconds", entry)
 
     # -- the real tree -----------------------------------------------------
 
@@ -276,6 +398,134 @@ class FixtureCorpusTest(unittest.TestCase):
             )
             + stderr,
         )
+        # The interprocedural passes share one parse per TU (single-pass
+        # cache); the full-repo run must stay inside its wall-time budget.
+        self.assertLess(doc["wall_time_seconds"], 10.0)
+        self.assertEqual(set(doc["per_check"]), set(doc["checks"]))
+
+
+class AnalyzeGateTest(unittest.TestCase):
+    """bench/check_analyze.py + bench/run_analyze.sh contract."""
+
+    CHECKER = os.path.join(REPO, "bench", "check_analyze.py")
+    RUNNER = os.path.join(REPO, "bench", "run_analyze.sh")
+
+    def setUp(self):
+        self.dir = tempfile.mkdtemp(prefix="qlint_analyze_")
+        self.addCleanup(shutil.rmtree, self.dir, ignore_errors=True)
+
+    def _write_plist(self, name, diagnostics, files=()):
+        doc = {"files": list(files), "diagnostics": diagnostics}
+        with open(os.path.join(self.dir, name), "wb") as f:
+            plistlib.dump(doc, f)
+
+    def _write_triage(self, entries):
+        path = os.path.join(self.dir, "triage.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({
+                "schema": "qcluster.analyze-triage.v1",
+                "entries": entries,
+            }, f)
+        return path
+
+    def _check(self, triage_path, extra=()):
+        proc = subprocess.run(
+            [sys.executable, self.CHECKER,
+             "--plist-dir", self.dir, "--repo-root", REPO,
+             "--triage", triage_path, *extra],
+            capture_output=True, text=True, timeout=60,
+        )
+        return proc.returncode, proc.stdout
+
+    DIAG = {
+        "location": {"file": 0, "line": 7},
+        "check_name": "core.NullDereference",
+        "description": "Dereference of null pointer",
+    }
+    FILES = (os.path.join(REPO, "src", "common", "metrics.cc"),)
+
+    def test_untriaged_finding_fails(self):
+        self._write_plist("tu.plist", [self.DIAG], self.FILES)
+        code, out = self._check(self._write_triage([]))
+        self.assertEqual(code, 1, out)
+        self.assertIn("core.NullDereference", out)
+        self.assertIn("1 untriaged finding(s)", out)
+
+    def test_triaged_finding_passes_and_lands_in_sarif(self):
+        self._write_plist("tu.plist", [self.DIAG], self.FILES)
+        triage = self._write_triage([{
+            "file": "src/common/metrics.cc",
+            "checker": "core.NullDereference",
+            "contains": "null pointer",
+            "reason": "analyzer cannot see the CHECK above",
+        }])
+        sarif_path = os.path.join(self.dir, "out.sarif")
+        code, out = self._check(triage, ("--sarif-output", sarif_path))
+        self.assertEqual(code, 0, out)
+        with open(sarif_path, encoding="utf-8") as f:
+            sarif = json.load(f)
+        results = sarif["runs"][0]["results"]
+        self.assertEqual(len(results), 1)
+        # Triaged diagnostics downgrade to notes but stay visible.
+        self.assertEqual(results[0]["level"], "note")
+
+    def test_stale_triage_entry_fails(self):
+        self._write_plist("tu.plist", [], ())
+        triage = self._write_triage([{
+            "file": "src/common/metrics.cc",
+            "checker": "core.NullDereference",
+            "contains": "null pointer",
+            "reason": "fixed long ago",
+        }])
+        code, out = self._check(triage)
+        self.assertEqual(code, 1, out)
+        self.assertIn("stale triage entry", out)
+
+    def test_reasonless_triage_entry_is_config_error(self):
+        self._write_plist("tu.plist", [], ())
+        triage = self._write_triage([{
+            "file": "src/common/metrics.cc",
+            "checker": "core.NullDereference",
+            "contains": "null pointer",
+            "reason": "",
+        }])
+        proc = subprocess.run(
+            [sys.executable, self.CHECKER,
+             "--plist-dir", self.dir, "--repo-root", REPO,
+             "--triage", triage],
+            capture_output=True, text=True, timeout=60,
+        )
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("missing 'reason'", proc.stderr)
+
+    def test_committed_triage_file_is_valid(self):
+        # The in-tree triage file must parse and carry justified entries
+        # only (empty is the steady state: src/ analyzes clean).
+        with open(os.path.join(REPO, "bench",
+                               "analyze_triage.json")) as f:
+            doc = json.load(f)
+        self.assertEqual(doc["schema"], "qcluster.analyze-triage.v1")
+        for entry in doc["entries"]:
+            for key in ("file", "checker", "contains", "reason"):
+                self.assertTrue(entry.get(key), entry)
+
+    def test_runner_skips_without_clang_unless_required(self):
+        env = dict(os.environ, QCLUSTER_CLANGXX="definitely-not-a-compiler")
+        env.pop("QCLUSTER_ANALYZE_REQUIRE", None)
+        proc = subprocess.run(
+            ["bash", self.RUNNER], cwd=REPO, env=env,
+            capture_output=True, text=True, timeout=60,
+        )
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("skipping", proc.stdout)
+
+        env["QCLUSTER_ANALYZE_REQUIRE"] = "1"
+        proc = subprocess.run(
+            ["bash", self.RUNNER], cwd=REPO, env=env,
+            capture_output=True, text=True, timeout=60,
+        )
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("QCLUSTER_ANALYZE_REQUIRE", proc.stderr)
 
 
 if __name__ == "__main__":

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -129,16 +130,17 @@ TEST(ThreadPoolStressTest, HistogramExtremaUnderContention) {
   SetMetricsEnabled(true);
   MetricsRegistry::Global().Reset();
 
-  Histogram& h = MetricsRegistry::Global().histogram("stress.extrema");
+  const std::shared_ptr<Histogram> h =
+      MetricsRegistry::Global().histogram("stress.extrema");
   ThreadPool pool(4);
   constexpr std::size_t kItems = 50000;
   pool.ParallelFor(kItems, /*min_shard=*/64,
                    [&](int, std::size_t begin, std::size_t end) {
                      for (std::size_t i = begin; i < end; ++i) {
-                       h.Record(static_cast<double>(i + 1) * 1e-6);
+                       h->Record(static_cast<double>(i + 1) * 1e-6);
                      }
                    });
-  const Histogram::Snapshot snap = h.snapshot();
+  const Histogram::Snapshot snap = h->snapshot();
   EXPECT_EQ(snap.count, static_cast<long long>(kItems));
   EXPECT_DOUBLE_EQ(snap.min, 1e-6);
   EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(kItems) * 1e-6);

@@ -1,0 +1,408 @@
+"""Cross-TU call graph and lock-flow facts for qlint.
+
+Layered on the symbol table, this module gives the interprocedural checks
+three things:
+
+  * ``walk(fn)``: a single ordered event stream per function body —
+    lock acquisitions/releases (``MutexLock`` RAII scopes, explicit
+    ``Lock``/``Unlock``), call sites with their receiver context and the
+    lock-set held at that point, and the blocking primitives the project
+    cares about (``ThreadPool::ParallelFor``, ``CondVar::Wait``/
+    ``WaitFor``, file/stream I/O). Lambda bodies get a fresh lock
+    context: code inside a lambda does not run under the enclosing
+    scope's locks.
+  * ``blocking``: which functions reach a blocking primitive,
+    transitively through resolved calls, with a witness chain for the
+    diagnostic.
+  * ``worker_hazard``: the set of mutex keys acquired (transitively) by
+    code that runs on pool workers — every lambda passed to a
+    ``ParallelFor`` call site plus ``ThreadPool::WorkerLoop`` itself
+    (the queue drain path). Blocking while holding one of these is the
+    self-deadlock class: the caller waits on workers that need the lock
+    the caller holds.
+
+Call resolution is name-based with class disambiguation (same class
+first, else the unique defining class) and stays conservative: an
+ambiguous name contributes no edges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from model import (
+    find_lambda_body_braces,
+    normalize_mutex_key,
+    paren_group,
+    receiver_key,
+    split_args,
+)
+from symbols import SymbolTable, _requires_keys
+
+# Blocking file/stream I/O: calls that can stall on the filesystem.
+IO_CALLS = {
+    "fopen", "freopen", "fclose", "fread", "fwrite", "fgets", "fputs",
+    "fflush", "getline",
+}
+IO_STREAM_TYPES = {"ifstream", "ofstream", "fstream"}
+
+_NOT_CALLS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "catch", "new", "delete", "assert", "decltype", "defined",
+}
+
+
+@dataclasses.dataclass
+class Event:
+    kind: str        # "call" | "parallel_for" | "wait" | "io" | "acquire"
+    line: int
+    held: Tuple[str, ...]   # Lock keys held at this point, outermost first.
+    in_lambda: bool
+    name: str = ""          # Callee name / io primitive.
+    receiver: str = ""      # Receiver expression text ("" = plain call).
+    class_hint: str = ""    # Receiver class for qualified calls.
+    wait_key: str = ""      # The mutex a Wait/WaitFor releases.
+    arg_range: Tuple[int, int] = (0, 0)  # Body-token span of the call args.
+
+
+def _receiver_chain(body, idx):
+    """Receiver text for a `.`/`->` member call ending at body[idx]=='name'.
+
+    Returns ("", idx) for a plain call, (text, start) otherwise.
+    """
+    j = idx - 1
+    arrow = False
+    if j >= 1 and body[j].text == ">" and body[j - 1].text == "-":
+        arrow = True
+        j -= 2
+    elif j >= 0 and body[j].text == ".":
+        j -= 1
+    else:
+        return "", idx
+    parts = []
+    while j >= 0:
+        t = body[j]
+        if t.kind == "ident" or t.text in (".", "::", "_"):
+            parts.append(t.text)
+            j -= 1
+            continue
+        if t.text == ")" :
+            # Call-expression receiver (`pool().ParallelFor`): keep the
+            # callee name so `pool()` resolves through its return type by
+            # name (best effort) — record as "name()".
+            depth = 0
+            while j >= 0:
+                if body[j].text == ")":
+                    depth += 1
+                elif body[j].text == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            j -= 1
+            if j >= 0 and body[j].kind == "ident":
+                parts.append("()")
+                parts.append(body[j].text)
+                j -= 1
+            continue
+        break
+    parts.reverse()
+    text = "".join(parts)
+    if arrow:
+        text += "->"
+    return text, j + 1
+
+
+def walk(fn, symtab: Optional[SymbolTable] = None) -> List[Event]:
+    """Ordered lock/call/blocking events for one function body."""
+    events: List[Event] = []
+    body = fn.body
+    n = len(body)
+    held: List[str] = []
+    for key in _requires_keys(fn.requires, fn.class_name, fn.param_names):
+        held.append(key)
+    if symtab is not None:
+        # REQUIRES conventionally lives on the first declaration only;
+        # merge the symbol table's decl+def union so an out-of-line
+        # definition is seeded with its header contract.
+        for key in symtab.requires_keys(fn.name, fn.class_name):
+            if key not in held:
+                held.append(key)
+    lambda_braces = find_lambda_body_braces(body)
+    ctx_stack: List[Tuple[List[str], List[int], int]] = []
+    # Track RAII scope depth per held key (REQUIRES-seeded keys use -1 so
+    # they never pop).
+    held_depth: List[int] = [-1] * len(held)
+    depth = 0
+    i = 0
+    while i < n:
+        t = body[i]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+                if i in lambda_braces:
+                    ctx_stack.append((held, held_depth, depth))
+                    held = []
+                    held_depth = []
+            elif t.text == "}":
+                depth -= 1
+                if ctx_stack and depth < ctx_stack[-1][2]:
+                    held, held_depth, _ = ctx_stack.pop()
+                else:
+                    while held_depth and held_depth[-1] > depth:
+                        held_depth.pop()
+                        held.pop()
+            i += 1
+            continue
+        if t.kind != "ident":
+            i += 1
+            continue
+        nxt = body[i + 1] if i + 1 < n else None
+        nxt2 = body[i + 2] if i + 2 < n else None
+
+        if t.text == "MutexLock" and nxt is not None:
+            j = i + 1
+            if body[j].kind == "ident":
+                j += 1
+            if j < n and body[j].text == "(":
+                args, end = paren_group(body, j)
+                key = normalize_mutex_key(args, fn.class_name)
+                held.append(key)
+                held_depth.append(depth)
+                events.append(Event(
+                    "acquire", t.line, tuple(held), bool(ctx_stack),
+                    name=key,
+                ))
+                i = end + 1
+                continue
+        if t.text == "Lock" and nxt is not None and nxt.text == "(":
+            key = receiver_key(body, i, fn.class_name)
+            if key is not None:
+                held.append(key)
+                held_depth.append(depth)
+                events.append(Event(
+                    "acquire", t.line, tuple(held), bool(ctx_stack),
+                    name=key,
+                ))
+        elif t.text == "Unlock" and nxt is not None and nxt.text == "(":
+            key = receiver_key(body, i, fn.class_name)
+            if key is not None:
+                for idx in range(len(held) - 1, -1, -1):
+                    if held[idx] == key:
+                        del held[idx]
+                        del held_depth[idx]
+                        break
+        elif t.text == "ParallelFor" and nxt is not None and nxt.text == "(":
+            args, end = paren_group(body, i + 1)
+            events.append(Event(
+                "parallel_for", t.line, tuple(held), bool(ctx_stack),
+                name="ParallelFor", arg_range=(i + 2, end),
+            ))
+            i += 1
+            continue
+        elif t.text in ("Wait", "WaitFor") and nxt is not None and \
+                nxt.text == "(" and i > 0 and body[i - 1].text == ".":
+            args, end = paren_group(body, i + 1)
+            groups = split_args(args)
+            wait_key = normalize_mutex_key(groups[0], fn.class_name) \
+                if groups else ""
+            events.append(Event(
+                "wait", t.line, tuple(held), bool(ctx_stack),
+                name=t.text, wait_key=wait_key,
+            ))
+            i = end + 1
+            continue
+        elif t.text in IO_CALLS and nxt is not None and nxt.text == "(":
+            events.append(Event(
+                "io", t.line, tuple(held), bool(ctx_stack), name=t.text,
+            ))
+        elif t.text in IO_STREAM_TYPES:
+            events.append(Event(
+                "io", t.line, tuple(held), bool(ctx_stack), name=t.text,
+            ))
+        elif nxt is not None and nxt.text == "(" and t.text not in _NOT_CALLS:
+            receiver, _ = _receiver_chain(body, i)
+            class_hint = ""
+            if receiver == "" and i >= 2 and body[i - 1].text == "::" and \
+                    body[i - 2].kind == "ident":
+                class_hint = body[i - 2].text
+            elif receiver.rstrip("->").rstrip(".") == "this":
+                receiver = ""
+            args, end = paren_group(body, i + 1)
+            events.append(Event(
+                "call", t.line, tuple(held), bool(ctx_stack), name=t.text,
+                receiver=receiver, class_hint=class_hint,
+                arg_range=(i + 2, end),
+            ))
+        elif nxt is not None and nxt.kind == "ident" and nxt2 is not None \
+                and nxt2.text == "(" and t.text not in _NOT_CALLS:
+            # Constructor-style declaration `Type var(args)` — treat as a
+            # call to Type's constructor so RAII types (ScopedWorkerSpan,
+            # stream objects) contribute edges.
+            events.append(Event(
+                "call", t.line, tuple(held), bool(ctx_stack), name=t.text,
+            ))
+        i += 1
+    return events
+
+
+class CallGraph:
+    """Blocking reachability and the worker-hazard lock set."""
+
+    def __init__(self, models, symtab: SymbolTable):
+        self.models = models
+        self.symtab = symtab
+        self._events: Dict[int, List[Event]] = {}  # id(fn) -> events
+        # (class, name) -> direct blocking {kind: (line, path)}.
+        self.direct: Dict[Tuple[str, str], Dict[str, Tuple[int, str]]] = {}
+        # (class, name) -> transitive blocking {kind: witness chain str}.
+        self.blocking: Dict[Tuple[str, str], Dict[str, str]] = {}
+        self.worker_hazard: Set[str] = set()
+        self._definitions: Dict[Tuple[str, str], List] = {}
+        self._build()
+
+    def events(self, fn) -> List[Event]:
+        cached = self._events.get(id(fn))
+        if cached is None:
+            cached = walk(fn, self.symtab)
+            self._events[id(fn)] = cached
+        return cached
+
+    def _resolve(self, ev, caller_class) -> Optional[Tuple[str, str]]:
+        """(class, name) a call event resolves to, or None."""
+        hint = ev.class_hint or (caller_class if not ev.receiver else "")
+        cls = self.symtab.resolve_class(ev.name, hint)
+        if cls is None:
+            return None
+        if not self.symtab.definitions(ev.name, cls):
+            return None
+        return (cls, ev.name)
+
+    def _build(self):
+        # Index definitions by (class, name); collect per-function events.
+        all_fns = []
+        for path, m in self.models.items():
+            for fn in m.functions:
+                key = (fn.class_name, fn.name)
+                self._definitions.setdefault(key, []).append((path, fn))
+                all_fns.append((path, fn))
+
+        # Direct blocking facts + call edges.
+        edges: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+        for path, fn in all_fns:
+            key = (fn.class_name, fn.name)
+            for ev in self.events(fn):
+                if ev.kind in ("parallel_for", "wait", "io"):
+                    if ev.in_lambda:
+                        continue  # Lambda code runs in its own context.
+                    self.direct.setdefault(key, {}).setdefault(
+                        ev.kind, (ev.line, path))
+                elif ev.kind == "call":
+                    callee = self._resolve(ev, fn.class_name)
+                    if callee is not None and callee != key:
+                        edges.setdefault(key, set()).add(callee)
+
+        # Transitive propagation to a fixpoint (the graph is small).
+        self.blocking = {
+            key: {kind: "" for kind in kinds}
+            for key, kinds in self.direct.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for src, dsts in edges.items():
+                have = self.blocking.setdefault(src, {})
+                for dst in dsts:
+                    for kind, via in self.blocking.get(dst, {}).items():
+                        if kind not in have:
+                            chain = f"{dst[0]}::{dst[1]}" if dst[0] else dst[1]
+                            if via:
+                                chain += f" -> {via}"
+                            have[kind] = chain
+                            changed = True
+
+        self._collect_worker_hazard(all_fns)
+
+    # -- worker hazard ----------------------------------------------------
+
+    def _collect_worker_hazard(self, all_fns):
+        """Locks acquired by code running on pool workers.
+
+        Seeds: every lambda in a ParallelFor argument list, and
+        ThreadPool::WorkerLoop (the drain path that runs queued shard and
+        trace closures).
+        """
+        seed_slices = []  # (token slice, class context)
+        for _, fn in all_fns:
+            if fn.name == "WorkerLoop":
+                seed_slices.append((fn.body, fn.class_name))
+            for ev in self.events(fn):
+                if ev.kind != "parallel_for":
+                    continue
+                lo, hi = ev.arg_range
+                arg_toks = fn.body[lo:hi]
+                braces = find_lambda_body_braces(arg_toks)
+                for b in braces:
+                    # Find the matching close brace for each lambda body.
+                    depth = 0
+                    j = b
+                    while j < len(arg_toks):
+                        if arg_toks[j].text == "{":
+                            depth += 1
+                        elif arg_toks[j].text == "}":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        j += 1
+                    seed_slices.append((arg_toks[b:j], fn.class_name))
+
+        visited: Set[Tuple[str, str]] = set()
+        pending = list(seed_slices)
+        while pending:
+            toks, class_name = pending.pop()
+            pseudo = _PseudoFn(toks, class_name)
+            for ev in walk(pseudo, self.symtab):
+                if ev.kind == "acquire":
+                    self.worker_hazard.add(ev.name)
+                    continue
+                if ev.kind == "wait":
+                    continue  # Waiting releases; it does not pin the lock.
+                for key in ev.held:
+                    self.worker_hazard.add(key)
+                if ev.kind == "call":
+                    callee = self._resolve(ev, class_name)
+                    if callee is None or callee in visited:
+                        continue
+                    visited.add(callee)
+                    for _, cfn in self._definitions.get(callee, []):
+                        pending.append((cfn.body, cfn.class_name))
+
+    def resolve_blocking(self, ev, caller_class) -> Dict[str, str]:
+        """Transitive blocking kinds reached through a call event."""
+        callee = self._resolve(ev, caller_class)
+        if callee is None:
+            return {}
+        if callee[1] == "ParallelFor":
+            return {}  # The direct-primitive rule covers it.
+        kinds = dict(self.blocking.get(callee, {}))
+        label = f"{callee[0]}::{callee[1]}" if callee[0] else callee[1]
+        return {
+            kind: (f"{label} -> {via}" if via else label)
+            for kind, via in kinds.items()
+        }
+
+
+class _PseudoFn:
+    """Adapter so walk() can run over a bare token slice (lambda body)."""
+
+    def __init__(self, body, class_name):
+        self.body = body
+        self.class_name = class_name
+        self.name = ""  # Anonymous: never matches a symbol-table entry.
+        self.requires = []
+        self.param_names = []
+
+
+def build_callgraph(models, symtab) -> CallGraph:
+    return CallGraph(models, symtab)

@@ -29,6 +29,22 @@ Each check encodes an invariant this repository relies on for correctness
   suppression      the waiver syntax itself: a directive without a reason,
                    with an unknown check id, malformed, or suppressing
                    nothing is an error.
+
+Interprocedural checks (symbol table + cross-TU call graph, see
+symbols.py / callgraph.py):
+
+  requires-propagation   every caller of a QCLUSTER_REQUIRES(mu) function
+                         holds or requires mu, resolved across TU
+                         boundaries through header declarations.
+  blocking-while-locked  no ParallelFor dispatch, CondVar wait, or
+                         file/stream I/O (reached transitively) while
+                         holding a mutex that pool workers also acquire.
+  guarded-escape         no reference/pointer/iterator/view into a
+                         GUARDED_BY member outlives its critical section
+                         (waiver: `// qlint: escape-ok(reason)`).
+  snapshot-discipline    every *_view()/snapshot accessor over mutable
+                         state documents its lifetime contract
+                         (`// qlint: snapshot(contract)`).
 """
 
 from __future__ import annotations
@@ -37,9 +53,17 @@ import dataclasses
 import json
 import os
 import re
+import time
 from typing import Dict, List, Optional
 
-from model import FileModel, normalize_mutex_key
+from model import (
+    FileModel,
+    find_lambda_body_braces as _find_lambda_body_braces,
+    normalize_mutex_key,
+    paren_group as _paren_group,
+    receiver_key as _receiver_key,
+    split_args as _split_args,
+)
 
 SPAN_ATTR_BUDGET = 6  # Mirrors trace::SpanRecord::kMaxAttrs.
 
@@ -77,6 +101,18 @@ CHECKS = {
     "status-discard": "IgnoreError/DiscardResult without a justifying comment",
     "env-hook": "getenv outside an anchored *FromEnv environment hook",
     "span-attrs": "more span attributes than SpanRecord::kMaxAttrs can hold",
+    "requires-propagation":
+        "caller of a QCLUSTER_REQUIRES function does not hold the "
+        "required mutex (cross-TU)",
+    "blocking-while-locked":
+        "pool dispatch, condvar wait, or file I/O reached while holding "
+        "a worker-shared mutex",
+    "guarded-escape":
+        "reference/pointer/view into GUARDED_BY state escapes its "
+        "critical section",
+    "snapshot-discipline":
+        "view/snapshot accessor over mutable state lacks a documented "
+        "lifetime contract",
     "suppression": "malformed, unjustified, or unused qlint suppression",
 }
 
@@ -97,7 +133,14 @@ class Finding:
 
 
 class Project:
-    """All loaded file models plus the optional compilation database."""
+    """All loaded file models plus the optional compilation database.
+
+    The interprocedural layers — symbol table and call graph — are built
+    lazily, exactly once, and shared by every check (the single-pass
+    parse cache: each TU is lexed/modeled once by the CLI, and the
+    repo-wide structures derived from those models are computed once
+    here).
+    """
 
     def __init__(self, models: Dict[str, FileModel],
                  compile_commands: Optional[Dict[str, str]],
@@ -105,6 +148,20 @@ class Project:
         self.models = models
         self.compile_commands = compile_commands
         self.allow_missing_cc = allow_missing_compile_commands
+        self._symtab = None
+        self._callgraph = None
+
+    def symbols(self):
+        if self._symtab is None:
+            from symbols import build_symbol_table
+            self._symtab = build_symbol_table(self.models)
+        return self._symtab
+
+    def callgraph(self):
+        if self._callgraph is None:
+            from callgraph import build_callgraph
+            self._callgraph = build_callgraph(self.models, self.symbols())
+        return self._callgraph
 
 
 def load_compile_commands(path) -> Dict[str, str]:
@@ -183,73 +240,6 @@ def check_guarded_by(project) -> List[Finding]:
 
 # ---------------------------------------------------------------------------
 # lock-order
-
-
-def _find_lambda_body_braces(body):
-    """Indices of '{' tokens that open lambda bodies within `body`."""
-    lambda_braces = set()
-    n = len(body)
-    i = 0
-    while i < n:
-        t = body[i]
-        if t.kind == "punct" and t.text == "[":
-            prev = body[i - 1] if i > 0 else None
-            is_subscript = prev is not None and (
-                prev.kind in ("ident", "num")
-                or prev.text in (")", "]")
-            )
-            if not is_subscript:
-                # Find matching ']'.
-                depth = 0
-                j = i
-                while j < n:
-                    if body[j].text == "[":
-                        depth += 1
-                    elif body[j].text == "]":
-                        depth -= 1
-                        if depth == 0:
-                            break
-                    j += 1
-                k = j + 1
-                # Optional parameter list / specifiers before the body.
-                if k < n and body[k].text == "(":
-                    depth = 0
-                    while k < n:
-                        if body[k].text == "(":
-                            depth += 1
-                        elif body[k].text == ")":
-                            depth -= 1
-                            if depth == 0:
-                                break
-                        k += 1
-                    k += 1
-                while k < n and (
-                    body[k].kind == "ident"  # mutable / noexcept / -> Type
-                    or body[k].text in ("-", ">", "::", "<", ",", "*", "&")
-                ):
-                    k += 1
-                if k < n and body[k].text == "{":
-                    lambda_braces.add(k)
-                i = j + 1
-                continue
-        i += 1
-    return lambda_braces
-
-
-def _receiver_key(body, idx, class_name):
-    """Key for `recv.Lock()` at body[idx] == 'Lock': walks the receiver."""
-    j = idx - 1
-    if j < 0 or body[j].text != ".":
-        return None
-    parts = []
-    j -= 1
-    while j >= 0 and (body[j].kind == "ident" or body[j].text in (".", "::")):
-        parts.append(body[j])
-        j -= 1
-    parts.reverse()
-    if not parts:
-        return None
-    return normalize_mutex_key(parts, class_name)
 
 
 def check_lock_order(project) -> List[Finding]:
@@ -338,44 +328,6 @@ def check_lock_order(project) -> List[Finding]:
             "lock acquisition cycle (potential deadlock): " + "; ".join(hops),
         ))
     return findings
-
-
-def _split_args(tokens):
-    """Splits an argument token group on top-level commas."""
-    groups = [[]]
-    depth = 0
-    for t in tokens:
-        if t.text in ("(", "[", "{"):
-            depth += 1
-        elif t.text in (")", "]", "}"):
-            depth -= 1
-        if t.text == "," and depth == 0:
-            groups.append([])
-        else:
-            groups[-1].append(t)
-    return [g for g in groups if g]
-
-
-def _paren_group(body, open_idx):
-    """(inner tokens, index of the closing paren) for body[open_idx]=='('."""
-    depth = 0
-    inner = []
-    i = open_idx
-    n = len(body)
-    while i < n:
-        if body[i].text == "(":
-            depth += 1
-            if depth == 1:
-                i += 1
-                continue
-        elif body[i].text == ")":
-            depth -= 1
-            if depth == 0:
-                return inner, i
-        if depth >= 1:
-            inner.append(body[i])
-        i += 1
-    return inner, n - 1
 
 
 def _find_cycles(edges):
@@ -734,6 +686,380 @@ def _span_budget_finding(path, var, line, count):
 
 
 # ---------------------------------------------------------------------------
+# requires-propagation (interprocedural)
+
+
+def check_requires_propagation(project) -> List[Finding]:
+    """Callers of QCLUSTER_REQUIRES functions must hold the capability.
+
+    Clang's -Wthread-safety verifies this per TU; this check resolves it
+    through the repo-wide symbol table, so a REQUIRES that lives only on
+    a header prototype reaches call sites in every other TU.
+    """
+    symtab = project.symbols()
+    cg = project.callgraph()
+    findings = []
+    for path, m in project.models.items():
+        for fn in m.functions:
+            for ev in cg.events(fn):
+                if ev.kind != "call":
+                    continue
+                hint = ev.class_hint or (
+                    fn.class_name if not ev.receiver else "")
+                rclass = symtab.resolve_class(ev.name, hint)
+                if rclass is None:
+                    continue
+                required = symtab.requires_keys(ev.name, rclass)
+                if not required:
+                    continue
+                held = set(ev.held)
+                for r in required:
+                    if r in held:
+                        continue
+                    if ev.receiver:
+                        # A receiver-qualified call satisfies `C::m` by
+                        # holding the receiver's own `m`:
+                        # `MutexLock l(s.mu_); s.ReplayLocked();`.
+                        member = r.split("::")[-1]
+                        sep = "" if ev.receiver.endswith("->") else "."
+                        if f"{ev.receiver}{sep}{member}" in held:
+                            continue
+                    label = f"{rclass}::{ev.name}" if rclass else ev.name
+                    findings.append(Finding(
+                        "requires-propagation", path, ev.line,
+                        f"call to '{label}' which QCLUSTER_REQUIRES({r}) "
+                        "without holding or requiring it — the annotation "
+                        "lives on a declaration this TU's per-file analysis "
+                        "cannot see; take the lock, add QCLUSTER_REQUIRES "
+                        "to the caller, or restructure",
+                    ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# blocking-while-locked (interprocedural)
+
+
+_BLOCK_KIND_LABEL = {
+    "parallel_for": "ThreadPool::ParallelFor",
+    "wait": "CondVar::Wait",
+    "io": "file/stream I/O",
+}
+
+
+def check_blocking_while_locked(project) -> List[Finding]:
+    """No blocking operation while holding a worker-shared mutex.
+
+    The hazard set is every mutex acquired (transitively) by code that
+    runs on pool workers — ParallelFor shard lambdas and the
+    ThreadPool::WorkerLoop drain path. Holding one of those across a
+    blocking call is the self-deadlock class: the blocked thread waits
+    on workers that need the lock it holds. Two rules:
+
+      * direct: a function that itself takes a lock and then calls
+        ParallelFor in the same body is flagged for *any* held mutex —
+        the caller blocks until every shard drains, so the critical
+        section spans the whole pool round.
+      * transitive: CondVar waits (minus the mutex the wait releases),
+        file/stream I/O, and calls that reach a blocking primitive
+        through the call graph are flagged when the held set intersects
+        the worker-hazard set.
+    """
+    cg = project.callgraph()
+    hazard = cg.worker_hazard
+    findings = []
+    for path, m in project.models.items():
+        for fn in m.functions:
+            for ev in cg.events(fn):
+                if ev.in_lambda:
+                    continue  # Lambda bodies run in their own context.
+                if ev.kind == "parallel_for" and ev.held:
+                    findings.append(Finding(
+                        "blocking-while-locked", path, ev.line,
+                        "ParallelFor dispatched while holding "
+                        f"{{{', '.join(ev.held)}}}: the caller blocks until "
+                        "every shard completes, so the critical section "
+                        "spans the whole pool round (and deadlocks if any "
+                        "worker path takes the same lock) — build outside "
+                        "the lock and install the result under it",
+                    ))
+                elif ev.kind == "wait":
+                    extra = (set(ev.held) - {ev.wait_key}) & hazard
+                    if extra:
+                        findings.append(Finding(
+                            "blocking-while-locked", path, ev.line,
+                            f"CondVar::{ev.name} while additionally holding "
+                            f"{{{', '.join(sorted(extra))}}}, which pool "
+                            "workers also acquire — the wait pins a lock "
+                            "the wake-up path may need",
+                        ))
+                elif ev.kind == "io":
+                    bad = set(ev.held) & hazard
+                    if bad:
+                        findings.append(Finding(
+                            "blocking-while-locked", path, ev.line,
+                            f"file/stream I/O ('{ev.name}') while holding "
+                            f"{{{', '.join(sorted(bad))}}}, which pool "
+                            "workers also acquire — copy under the lock, "
+                            "write outside it",
+                        ))
+                elif ev.kind == "call" and ev.held:
+                    bad = set(ev.held) & hazard
+                    if not bad:
+                        continue
+                    kinds = cg.resolve_blocking(ev, fn.class_name)
+                    for kind in ("parallel_for", "wait", "io"):
+                        if kind in kinds:
+                            findings.append(Finding(
+                                "blocking-while-locked", path, ev.line,
+                                f"call to '{ev.name}' reaches "
+                                f"{_BLOCK_KIND_LABEL[kind]} (via "
+                                f"{kinds[kind]}) while holding "
+                                f"{{{', '.join(sorted(bad))}}}, which pool "
+                                "workers also acquire — a worker needing "
+                                "that lock deadlocks against this caller",
+                            ))
+                            break
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# guarded-escape (interprocedural)
+
+
+_VIEW_TYPE_IDENTS = {"FlatView", "span", "string_view"}
+_RT_SKIP_IDENTS = {
+    "const", "static", "inline", "virtual", "constexpr", "mutable",
+    "std", "typename", "explicit", "friend",
+}
+
+
+def _return_type_info(head, name):
+    """(escaping, last type ident) for a declarator head.
+
+    `escaping` is True when the return type hands out indirection:
+    reference, pointer, iterator, or a known view type. Tokens inside
+    template argument lists are ignored (vector<int*> returns by value).
+    """
+    k = len(head) - 1
+    while k >= 0 and not (head[k].kind == "ident" and head[k].text == name):
+        k -= 1
+    if k < 0:
+        return False, ""
+    while k >= 2 and head[k - 1].text == "::" and head[k - 2].kind == "ident":
+        k -= 2
+    has_ref = False
+    has_ptr = False
+    last_ident = ""
+    angle = 0
+    prev = None
+    for t in head[:k]:
+        if t.text == "<" and prev is not None and (
+            prev.kind == "ident" or prev.text in (">", "::")
+        ):
+            angle += 1
+        elif t.text == ">" and angle > 0:
+            angle -= 1
+        elif angle == 0:
+            if t.text == "&":
+                has_ref = True
+            elif t.text == "*":
+                has_ptr = True
+            elif t.kind == "ident" and t.text not in _RT_SKIP_IDENTS:
+                last_ident = t.text
+        prev = t
+    escaping = (
+        has_ref or has_ptr or last_ident in _VIEW_TYPE_IDENTS
+        or last_ident.endswith("iterator")
+    )
+    return escaping, last_ident
+
+
+def _taint_seeds(body, fn, symtab):
+    """Guarded member names used in `body`, mapped name -> origin member.
+
+    A bare use seeds only when the function's own class guards that
+    member; a `.`/`->` access seeds for any class's guarded member (the
+    cross-object case, e.g. `fr_cache_->by_dims`).
+    """
+    seeds = {}
+    for i, t in enumerate(body):
+        if t.kind != "ident" or t.text in seeds:
+            continue
+        if t.text not in symtab.guarded_members:
+            continue
+        prev = body[i - 1] if i > 0 else None
+        member_access = prev is not None and (
+            prev.text == "."
+            or (prev.text == ">" and i >= 2 and body[i - 2].text == "-")
+        )
+        if member_access:
+            seeds[t.text] = t.text
+        else:
+            own = symtab.classes.get(fn.class_name)
+            if own is None:
+                # Out-of-line method of a class whose definition lives in
+                # another model: match by unqualified class name.
+                for info in symtab.classes.values():
+                    if info.name == fn.class_name and t.text in info.guarded:
+                        seeds[t.text] = t.text
+                        break
+            elif t.text in own.guarded:
+                seeds[t.text] = t.text
+    return seeds
+
+
+def check_guarded_escape(project) -> List[Finding]:
+    """No reference/pointer/iterator/view into GUARDED_BY state may
+    outlive its critical section.
+
+    A method whose return type carries indirection and whose returned
+    expression derives (through local assignments) from a guarded member
+    is flagged unless the method QCLUSTER_REQUIRES the guard — then the
+    caller holds the lock and requires-propagation polices *it* instead.
+    Deliberate stable-storage hand-outs carry
+    `// qlint: escape-ok(reason)`.
+    """
+    symtab = project.symbols()
+    findings = []
+    for path, m in project.models.items():
+        for fn in m.functions:
+            if not fn.head:
+                continue
+            escaping, _ = _return_type_info(fn.head, fn.name)
+            if not escaping:
+                continue
+            body = fn.body
+            tainted = _taint_seeds(body, fn, symtab)
+            if not tainted:
+                continue
+            n = len(body)
+            # Propagate through simple local assignments/initializations
+            # (`auto it = guarded_.find(k)`, `T& slot = map_[k]`).
+            for _ in range(3):
+                changed = False
+                for i in range(1, n):
+                    t = body[i]
+                    if t.kind != "punct" or t.text != "=":
+                        continue
+                    prev = body[i - 1]
+                    nxt = body[i + 1] if i + 1 < n else None
+                    if prev.kind != "ident" or prev.text in tainted:
+                        continue
+                    if nxt is not None and nxt.text == "=":
+                        continue  # ==
+                    if prev.text in ("operator",):
+                        continue
+                    j = i + 1
+                    origin = None
+                    while j < n and body[j].text != ";":
+                        if body[j].kind == "ident" and body[j].text in tainted:
+                            origin = tainted[body[j].text]
+                            break
+                        j += 1
+                    if origin is not None:
+                        tainted[prev.text] = origin
+                        changed = True
+                if not changed:
+                    break
+            required = set(_requires_keys_of(fn)) | set(
+                symtab.requires_keys(fn.name, fn.class_name))
+            i = 0
+            while i < n:
+                if body[i].kind == "ident" and body[i].text == "return":
+                    j = i + 1
+                    hit = None
+                    while j < n and body[j].text != ";":
+                        tok = body[j]
+                        if tok.kind == "ident" and tok.text in tainted:
+                            hit = tainted[tok.text]
+                            break
+                        j += 1
+                    if hit is not None:
+                        guard = symtab.guard_key_of(hit, fn.class_name)
+                        if guard is not None and guard not in required:
+                            label = (f"{fn.class_name}::{fn.name}"
+                                     if fn.class_name else fn.name)
+                            findings.append(Finding(
+                                "guarded-escape", path, fn.begin_line,
+                                f"'{label}' returns a reference/pointer/"
+                                f"view derived from '{hit}', which is "
+                                f"guarded by {guard}; the lock is released "
+                                "when the method returns, so the caller "
+                                "reads unprotected state — return by "
+                                "value/shared_ptr, add QCLUSTER_REQUIRES"
+                                f"({guard.split('::')[-1]}), or waive with "
+                                "`// qlint: escape-ok(reason)`",
+                            ))
+                            break
+                    i = j
+                i += 1
+    return findings
+
+
+def _requires_keys_of(fn):
+    from symbols import _requires_keys
+    return _requires_keys(fn.requires, fn.class_name, fn.param_names)
+
+
+# ---------------------------------------------------------------------------
+# snapshot-discipline
+
+
+_SNAPSHOT_NAME_RE = re.compile(r"(^view$|_view$|snapshot)", re.IGNORECASE)
+
+
+def check_snapshot_discipline(project) -> List[Finding]:
+    """Every `*_view()`/snapshot accessor over mutable state documents
+    its lifetime contract.
+
+    The contract is a `// qlint: snapshot(<contract>)` directive on (or
+    directly above) the accessor — the epoch-read convention the
+    mutable-DB work will rely on. By-value snapshots need nothing: only
+    accessors returning indirection (view types, references, pointers,
+    iterators) are audited.
+    """
+    symtab = project.symbols()
+    findings = []
+    mutable_classes = {}
+    for qualified, info in symtab.classes.items():
+        if info.has_mutable_state:
+            mutable_classes.setdefault(info.name, info)
+
+    def audit(path, name, class_name, line, head, span_end=None):
+        if class_name not in mutable_classes:
+            return
+        if not _SNAPSHOT_NAME_RE.search(name):
+            return
+        escaping, _ = _return_type_info(head, name)
+        if not escaping:
+            return
+        label = f"{class_name}::{name}"
+        findings.append(Finding(
+            "snapshot-discipline", path, line,
+            f"'{label}' exposes a view/snapshot over mutable state without "
+            "a documented lifetime contract — state who keeps the storage "
+            "alive and for how long with "
+            "`// qlint: snapshot(<lifetime contract>)` on or above the "
+            "accessor",
+            span_end=span_end,
+        ))
+
+    declared = set()
+    for path, m in project.models.items():
+        for cls in m.classes:
+            for decl in cls.method_decls:
+                declared.add((cls.name, decl.name))
+                audit(path, decl.name, cls.name, decl.line, decl.head)
+    for path, m in project.models.items():
+        for fn in m.functions:
+            if not fn.class_name or (fn.class_name, fn.name) in declared:
+                continue  # The header declaration is the annotation site.
+            audit(path, fn.name, fn.class_name, fn.begin_line, fn.head)
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # suppression resolution
 
 
@@ -808,13 +1134,36 @@ ALL_CHECKS = {
     "status-discard": check_status_discard,
     "env-hook": check_env_hook,
     "span-attrs": check_span_attrs,
+    "requires-propagation": check_requires_propagation,
+    "blocking-while-locked": check_blocking_while_locked,
+    "guarded-escape": check_guarded_escape,
+    "snapshot-discipline": check_snapshot_discipline,
 }
 
 
-def run_checks(project, enabled=None) -> List[Finding]:
+def run_checks(project, enabled=None, timings=None) -> List[Finding]:
     findings = []
     for name, fn in ALL_CHECKS.items():
         if enabled is not None and name not in enabled:
             continue
-        findings.extend(fn(project))
-    return apply_suppressions(project, findings, enabled)
+        start = time.monotonic()
+        found = fn(project)
+        findings.extend(found)
+        if timings is not None:
+            timings[name] = {
+                "findings": len(found),
+                "seconds": time.monotonic() - start,
+            }
+    start = time.monotonic()
+    result = apply_suppressions(project, findings, enabled)
+    if timings is not None:
+        timings["suppression"] = {
+            "findings": sum(1 for f in result if f.check == "suppression"),
+            "seconds": time.monotonic() - start,
+        }
+        # Post-suppression truth: report surviving counts per check.
+        for name in timings:
+            if name != "suppression":
+                timings[name]["findings"] = sum(
+                    1 for f in result if f.check == name)
+    return result

@@ -1,0 +1,59 @@
+// qlint fixture (blocking-while-locked): the correct shapes stay quiet —
+// a classic condition wait holding only the mutex it releases, dispatch
+// and I/O outside the critical section, and the build-outside/install-
+// under-lock pattern the check's diagnostics recommend.
+#include <cstddef>
+#include <fstream>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+
+namespace fixture {
+
+class Exporter {
+ public:
+  void DrainQueue();
+  void Refresh(qcluster::ThreadPool& pool);
+  void WriteReport();
+
+ private:
+  qcluster::Mutex mu_;
+  qcluster::CondVar cv_;
+  int pending_ QCLUSTER_GUARDED_BY(mu_) = 0;
+  std::vector<int> rows_ QCLUSTER_GUARDED_BY(mu_);
+};
+
+void Exporter::DrainQueue() {
+  qcluster::MutexLock lock(mu_);
+  while (pending_ > 0) {
+    cv_.Wait(mu_);  // ok: only the mutex the wait releases is held.
+  }
+}
+
+void Exporter::Refresh(qcluster::ThreadPool& pool) {
+  std::vector<int> built(128, 0);
+  // ok: the pool round runs outside any critical section...
+  pool.ParallelFor(built.size(), 16,
+                   [&built](int, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       built[i] = static_cast<int>(i);
+                     }
+                   });
+  // ...and only the install takes the lock.
+  qcluster::MutexLock lock(mu_);
+  rows_ = built;
+}
+
+void Exporter::WriteReport() {
+  std::vector<int> copy;
+  {
+    qcluster::MutexLock lock(mu_);
+    copy = rows_;  // Copy under the lock...
+  }
+  std::ofstream out("report.txt");  // ...write outside it.
+  out << copy.size();
+}
+
+}  // namespace fixture

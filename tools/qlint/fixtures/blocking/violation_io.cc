@@ -1,0 +1,15 @@
+// qlint fixture (blocking-while-locked): the I/O half of a cross-TU
+// deadlock — a free function whose body stalls on the filesystem. Alone
+// this file is quiet (no lock is held here); the finding appears in
+// violation_journal.cc, whose Flush() reaches this through the call graph
+// while holding a worker-shared mutex.
+#include <fstream>
+
+namespace fixture {
+
+void Checkpoint() {
+  std::ofstream out("checkpoint.txt");
+  out << "state";
+}
+
+}  // namespace fixture

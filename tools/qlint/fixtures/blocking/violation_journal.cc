@@ -1,0 +1,82 @@
+// qlint fixture (blocking-while-locked): four ways to block while holding
+// a mutex that pool workers also need. Journal::mu_ and Journal::stats_mu_
+// enter the worker-hazard set through Run()'s shard lambda (it calls
+// Append and Bump, which lock them on worker threads).
+#include <cstddef>
+#include <fstream>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+
+namespace fixture {
+
+void Checkpoint();  // Defined in violation_io.cc: blocks on file I/O.
+
+class Journal {
+ public:
+  void Append(int v);
+  void Bump();
+  void Flush();
+  void Export();
+  void Drain();
+  void Rebuild(qcluster::ThreadPool& pool);
+
+ private:
+  qcluster::Mutex mu_;
+  qcluster::Mutex stats_mu_;
+  qcluster::CondVar cv_;
+  std::vector<int> entries_ QCLUSTER_GUARDED_BY(mu_);
+  bool ready_ QCLUSTER_GUARDED_BY(mu_) = false;
+  long long appended_ QCLUSTER_GUARDED_BY(stats_mu_) = 0;
+};
+
+void Journal::Append(int v) {
+  qcluster::MutexLock lock(mu_);
+  entries_.push_back(v);
+}
+
+void Journal::Bump() {
+  qcluster::MutexLock lock(stats_mu_);
+  ++appended_;
+}
+
+void Journal::Flush() {
+  qcluster::MutexLock lock(mu_);
+  Checkpoint();  // finding: reaches file I/O while holding Journal::mu_.
+}
+
+void Journal::Export() {
+  qcluster::MutexLock lock(mu_);
+  std::ofstream out("journal.txt");  // finding: direct I/O under mu_.
+  out << entries_.size();
+}
+
+void Journal::Drain() {
+  qcluster::MutexLock stats(stats_mu_);
+  qcluster::MutexLock lock(mu_);
+  while (!ready_) {
+    cv_.Wait(mu_);  // finding: the wait releases mu_ but pins stats_mu_.
+  }
+}
+
+void Journal::Rebuild(qcluster::ThreadPool& pool) {
+  qcluster::MutexLock lock(mu_);
+  // finding: the caller blocks until every shard drains, so the critical
+  // section spans the whole pool round.
+  pool.ParallelFor(entries_.size(), 64,
+                   [](int, std::size_t, std::size_t) {});
+}
+
+void Run(Journal& journal, qcluster::ThreadPool& pool) {
+  pool.ParallelFor(1000, 64,
+                   [&journal](int, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       journal.Append(static_cast<int>(i));
+                       journal.Bump();
+                     }
+                   });
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// qlint fixture (guarded-escape): the three sanctioned ways to expose
+// guarded state — copy it out, push the locking obligation to the caller
+// with QCLUSTER_REQUIRES, or waive with a justified escape-ok when the
+// storage really is stable.
+#include <cstddef>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+class SafeRegistry {
+ public:
+  // ok: by value — the copy happens inside the critical section.
+  std::vector<int> items_copy() const {
+    qcluster::MutexLock lock(mu_);
+    return items_;
+  }
+
+  // ok: the caller must already hold the lock; requires-propagation
+  // polices the call sites instead.
+  const std::vector<int>& items_locked() const QCLUSTER_REQUIRES(mu_) {
+    return items_;
+  }
+
+  // qlint: escape-ok(append-only storage; element addresses are stable)
+  const int& stable_slot(std::size_t i) const {
+    qcluster::MutexLock lock(mu_);
+    return items_[i];
+  }
+
+ private:
+  mutable qcluster::Mutex mu_;
+  std::vector<int> items_ QCLUSTER_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// qlint fixture (guarded-escape waiver failure modes): a reasonless
+// escape-ok() suppresses nothing and is itself an error, and a waiver
+// with no matching finding is a stale-waiver error.
+#include <cstddef>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+class WaiverMisuse {
+ public:
+  // qlint: escape-ok()
+  const int* head() const {  // finding survives: the waiver has no reason.
+    qcluster::MutexLock lock(mu_);
+    return items_.data();
+  }
+
+  // qlint: escape-ok(left over from a refactor)
+  std::vector<int> values() const {  // by value — the waiver is stale.
+    qcluster::MutexLock lock(mu_);
+    return items_;
+  }
+
+ private:
+  mutable qcluster::Mutex mu_;
+  std::vector<int> items_ QCLUSTER_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// qlint fixture (guarded-escape): methods whose return type carries
+// indirection (reference, pointer, iterator) over GUARDED_BY state hand
+// the caller a window into the critical section after the lock is gone.
+#include <cstddef>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Registry {
+ public:
+  // finding: reference into items_ outlives the MutexLock below.
+  const std::vector<int>& items() const {
+    qcluster::MutexLock lock(mu_);
+    return items_;
+  }
+
+  // finding: pointer into guarded storage, laundered through a local.
+  const int* Find(std::size_t i) const {
+    qcluster::MutexLock lock(mu_);
+    const int* slot = &items_[i];
+    return slot;
+  }
+
+  // finding: iterators are indirection too.
+  std::vector<int>::iterator begin() {
+    qcluster::MutexLock lock(mu_);
+    return items_.begin();
+  }
+
+ private:
+  mutable qcluster::Mutex mu_;
+  std::vector<int> items_ QCLUSTER_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

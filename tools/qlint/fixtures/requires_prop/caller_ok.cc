@@ -1,0 +1,13 @@
+// qlint fixture (requires-propagation): an external caller satisfying the
+// contract through the receiver's own lock — `MutexLock l(s.mu_)` makes
+// `s.RehashLocked()` fine.
+#include "widget.h"
+
+namespace fixture {
+
+void StirSafely(Shard& shard) {
+  qcluster::MutexLock lock(shard.mu_);
+  shard.RehashLocked();  // ok: receiver's mu_ held.
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// qlint fixture (requires-propagation): a second TU calling a
+// REQUIRES-annotated method without holding the lock. The annotation is
+// only visible through the repo-wide symbol table (widget.h must be part
+// of the same scan for the check to fire).
+#include "widget.h"
+
+namespace fixture {
+
+void Stir(Shard& shard) {
+  shard.RehashLocked();  // finding: mu_ not held.
+}
+
+}  // namespace fixture

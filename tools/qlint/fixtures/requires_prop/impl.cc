@@ -1,0 +1,24 @@
+// qlint fixture (requires-propagation): the defining TU. Every call here
+// satisfies the contract — Insert takes the lock, CompactLocked requires
+// it — so this file together with widget.h scans clean.
+#include "widget.h"
+
+namespace fixture {
+
+void Shard::Insert(int key) {
+  qcluster::MutexLock lock(mu_);
+  slots_.push_back(key);
+  RehashLocked();  // ok: mu_ held.
+}
+
+void Shard::RehashLocked() {
+  // No annotation here: the header declaration carries it, and the symbol
+  // table's decl+def union seeds this body with the contract.
+  slots_.shrink_to_fit();
+}
+
+void Shard::CompactLocked() {
+  RehashLocked();  // ok: this function itself REQUIRES(mu_).
+}
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// qlint fixture (requires-propagation): the REQUIRES contract lives on
+// these header declarations only — Clang's per-TU -Wthread-safety cannot
+// see it from callers in other translation units; qlint's symbol table can.
+#ifndef QLINT_FIXTURE_REQUIRES_PROP_WIDGET_H_
+#define QLINT_FIXTURE_REQUIRES_PROP_WIDGET_H_
+
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Shard {
+ public:
+  void Insert(int key);
+
+  /// Callers must hold mu_ (annotation on this declaration only; the
+  /// out-of-line definition carries no annotation, per convention).
+  void RehashLocked() QCLUSTER_REQUIRES(mu_);
+
+  /// A caller that *requires* the lock instead of taking it is also fine.
+  void CompactLocked() QCLUSTER_REQUIRES(mu_);
+
+  qcluster::Mutex mu_;  // Public so external fixtures can lock it.
+
+ private:
+  std::vector<int> slots_ QCLUSTER_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture
+
+#endif  // QLINT_FIXTURE_REQUIRES_PROP_WIDGET_H_

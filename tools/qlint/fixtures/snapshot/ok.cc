@@ -1,0 +1,33 @@
+// qlint fixture (snapshot-discipline): a documented lifetime contract (a
+// snapshot directive on or above the accessor) satisfies the check;
+// immutable classes are out of scope entirely.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+class StableStore {
+ public:
+  void Append(int v) { data_.push_back(v); }
+
+  // qlint: snapshot(valid until the next Append; single-writer epochs)
+  const int* view() const { return data_.data(); }
+
+  // qlint: snapshot(valid for the store's lifetime; rows never move)
+  const std::vector<int>& snapshot_ref() const { return data_; }
+
+ private:
+  std::vector<int> data_;
+};
+
+class FrozenTable {
+ public:
+  explicit FrozenTable(std::vector<int> rows) : rows_(rows) {}
+  // quiet: every member is const — there is no mutable state to race.
+  const int* view() const { return rows_.data(); }
+
+ private:
+  const std::vector<int> rows_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// qlint fixture (snapshot-discipline): view/snapshot accessors over
+// mutable state must document who keeps the storage alive and for how
+// long. Both the inline definition and the body-less declaration are
+// annotation sites.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+class RowStore {
+ public:
+  void Append(int v) { data_.push_back(v); }
+
+  // finding: a view into storage Append can reallocate, no contract.
+  const int* view() const { return data_.data(); }
+
+  // finding: declaration-site audit (the definition may live elsewhere).
+  const std::vector<int>& snapshot_ref() const;
+
+  // quiet: by-value snapshots need no lifetime contract.
+  std::vector<int> snapshot_copy() const { return data_; }
+
+  // quiet: indirection, but the name claims no snapshot semantics (the
+  // guarded-escape and documentation conventions cover plain accessors).
+  const int* data() const { return data_.data(); }
+
+ private:
+  std::vector<int> data_;
+};
+
+}  // namespace fixture

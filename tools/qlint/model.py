@@ -43,9 +43,19 @@ _MEMBER_SKIP_LEAD = {
 # Tokens that may legally precede a function-definition `{`.
 _BODY_PREV_OK = {")", "const", "noexcept", "override", "final", "try"}
 
+_TYPE_KEYWORDS = {
+    "void", "int", "bool", "char", "float", "double", "long", "short",
+    "unsigned", "signed", "auto", "const", "static", "constexpr", "inline",
+    "virtual", "explicit", "mutable", "size_t",
+}
+
 _DIRECTIVE_RE = re.compile(r"qlint:\s*(.*)", re.DOTALL)
 _ALLOW_RE = re.compile(r"allow\(\s*([A-Za-z0-9_-]+)\s*\)\s*:?\s*(.*)", re.DOTALL)
 _UNGUARDED_RE = re.compile(r"unguarded\((.*)\)", re.DOTALL)
+# Sugar forms: each expands to allow(<check>) with the parenthesized text as
+# the mandatory reason / lifetime contract.
+_ESCAPE_OK_RE = re.compile(r"escape-ok\((.*)\)", re.DOTALL)
+_SNAPSHOT_RE = re.compile(r"snapshot\((.*)\)", re.DOTALL)
 
 
 @dataclasses.dataclass
@@ -74,11 +84,35 @@ class Member:
 
 
 @dataclasses.dataclass
+class MethodDecl:
+    """A body-less method/function declaration (e.g. in a header).
+
+    Captured so cross-TU checks can see annotations that, following the
+    Clang convention, live on the first declaration only — a
+    QCLUSTER_REQUIRES on a header prototype whose definition sits in
+    another translation unit.
+    """
+
+    name: str            # Unqualified name.
+    class_name: str      # Enclosing class, "" for free declarations.
+    line: int
+    head: List[Token]    # Clean declarator tokens up to (not incl.) '('.
+    annotations: List["Annotation"]
+    param_names: List[str]
+
+    @property
+    def requires(self) -> List[List[Token]]:
+        return [a.args for a in self.annotations
+                if a.name == "QCLUSTER_REQUIRES"]
+
+
+@dataclasses.dataclass
 class ClassScope:
     name: str
     qualified_name: str
     line: int
     members: List[Member] = dataclasses.field(default_factory=list)
+    method_decls: List[MethodDecl] = dataclasses.field(default_factory=list)
 
     @property
     def owns_mutex(self) -> bool:
@@ -93,6 +127,8 @@ class FunctionScope:
     end_line: int
     body: List[Token]
     requires: List[List[Token]]  # QCLUSTER_REQUIRES argument token groups.
+    head: List[Token] = dataclasses.field(default_factory=list)
+    param_names: List[str] = dataclasses.field(default_factory=list)
 
 
 @dataclasses.dataclass
@@ -163,6 +199,20 @@ class FileModel:
                                   unguarded.group(1).strip(), body)
                     )
                     continue
+                escape_ok = _ESCAPE_OK_RE.match(body)
+                if escape_ok:
+                    self.directives.append(
+                        Directive(line, "allow", "guarded-escape",
+                                  escape_ok.group(1).strip(), body)
+                    )
+                    continue
+                snapshot = _SNAPSHOT_RE.match(body)
+                if snapshot:
+                    self.directives.append(
+                        Directive(line, "allow", "snapshot-discipline",
+                                  snapshot.group(1).strip(), body)
+                    )
+                    continue
                 self.directives.append(Directive(line, "malformed", "", "", body))
 
 
@@ -230,6 +280,80 @@ def has_toplevel_paren(tokens):
             return True
         prev = t
     return False
+
+
+def declarator_head(clean):
+    """Tokens of a declarator up to (not including) its top-level '('."""
+    angle = 0
+    prev = None
+    head = []
+    for t in clean:
+        if t.text == "<" and prev is not None and (
+            prev.kind == "ident" or prev.text in (">", "::")
+        ):
+            angle += 1
+        elif t.text == ">" and angle > 0:
+            angle -= 1
+        elif t.text == "(" and angle == 0:
+            break
+        head.append(t)
+        prev = t
+    return head
+
+
+def param_names_of(clean):
+    """Parameter names from a declarator's top-level parenthesis group.
+
+    Heuristic: the last identifier of each comma-separated group that is
+    not a bare type keyword. Good enough to recognize REQUIRES clauses
+    that name a parameter rather than a member (e.g. CondVar::Wait's
+    ``QCLUSTER_REQUIRES(mu)``), which key-based propagation cannot check.
+    """
+    depth = 0
+    angle = 0
+    group = []
+    names = []
+    prev = None
+    skipping = False  # Inside a default-argument expression.
+
+    def flush():
+        idents = [t.text for t in group if t.kind == "ident"]
+        if len(idents) >= 2:  # `Type name`; a lone ident is a type.
+            names.append(idents[-1])
+
+    for t in clean:
+        if t.text == "<" and prev is not None and (
+            prev.kind == "ident" or prev.text in (">", "::")
+        ):
+            angle += 1
+        elif t.text == ">" and angle > 0:
+            angle -= 1
+        elif angle == 0 and t.text == "(":
+            depth += 1
+            prev = t
+            continue
+        elif angle == 0 and t.text == ")":
+            depth -= 1
+            if depth == 0:
+                if not skipping:
+                    flush()
+                break
+            prev = t
+            continue
+        if depth >= 1:
+            if t.text == "," and depth == 1 and angle == 0:
+                if not skipping:
+                    flush()
+                group = []
+                skipping = False
+            elif t.text == "=" and depth == 1 and angle == 0:
+                flush()
+                group = []
+                skipping = True
+            elif not skipping:
+                group.append(t)
+        prev = t
+    return names
 
 
 def normalize_mutex_key(arg_tokens, class_name):
@@ -367,7 +491,8 @@ class _StructureParser:
         begin = buf[0].line if buf else self.tokens[i].line
         self.m.functions.append(
             FunctionScope(name, class_name, begin, self.tokens[end].line,
-                          body, requires)
+                          body, requires, head=declarator_head(clean),
+                          param_names=param_names_of(clean))
         )
         return end + 1
 
@@ -390,20 +515,7 @@ class _StructureParser:
     @staticmethod
     def _function_name(clean):
         """(unqualified name, qualifier) from the declarator before '('."""
-        angle = 0
-        prev = None
-        head = []
-        for t in clean:
-            if t.text == "<" and prev is not None and (
-                prev.kind == "ident" or prev.text in (">", "::")
-            ):
-                angle += 1
-            elif t.text == ">" and angle > 0:
-                angle -= 1
-            elif t.text == "(" and angle == 0:
-                break
-            head.append(t)
-            prev = t
+        head = declarator_head(clean)
         idents = [t.text for t in head if t.kind == "ident"]
         if not idents:
             return "<anon>", ""
@@ -433,7 +545,20 @@ class _StructureParser:
         if texts[0] in _ACCESS_SPECIFIERS:
             return
         if has_toplevel_paren(clean):
-            return  # Method declaration / ctor = default / function pointer.
+            # Method declaration / ctor = default / function pointer: keep a
+            # MethodDecl record so cross-TU checks see header annotations
+            # (QCLUSTER_REQUIRES on a prototype defined in another TU).
+            head = declarator_head(clean)
+            names = [t.text for t in head if t.kind == "ident"]
+            # Skip ctors/dtors and function-pointer members (whose head ends
+            # at the pointer-declarator paren, leaving only type keywords).
+            if names and names[-1] != cls.name and \
+                    names[-1] not in _TYPE_KEYWORDS:
+                cls.method_decls.append(
+                    MethodDecl(names[-1], cls.name, buf[0].line, head,
+                               annotations, param_names_of(clean))
+                )
+            return
         # Cut at initializer or bitfield to isolate the declarator.
         declarator = []
         for t in clean:
@@ -473,6 +598,114 @@ class _StructureParser:
                 is_atomic="atomic" in dtexts or "atomic_flag" in dtexts,
             )
         )
+
+
+# -- shared token-walking helpers (used by checks.py and callgraph.py) ------
+
+
+def split_args(tokens):
+    """Splits an argument token group on top-level commas."""
+    groups = [[]]
+    depth = 0
+    for t in tokens:
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        if t.text == "," and depth == 0:
+            groups.append([])
+        else:
+            groups[-1].append(t)
+    return [g for g in groups if g]
+
+
+def paren_group(body, open_idx):
+    """(inner tokens, index of the closing paren) for body[open_idx]=='('."""
+    depth = 0
+    inner = []
+    i = open_idx
+    n = len(body)
+    while i < n:
+        if body[i].text == "(":
+            depth += 1
+            if depth == 1:
+                i += 1
+                continue
+        elif body[i].text == ")":
+            depth -= 1
+            if depth == 0:
+                return inner, i
+        if depth >= 1:
+            inner.append(body[i])
+        i += 1
+    return inner, n - 1
+
+
+def find_lambda_body_braces(body):
+    """Indices of '{' tokens that open lambda bodies within `body`."""
+    lambda_braces = set()
+    n = len(body)
+    i = 0
+    while i < n:
+        t = body[i]
+        if t.kind == "punct" and t.text == "[":
+            prev = body[i - 1] if i > 0 else None
+            is_subscript = prev is not None and (
+                prev.kind in ("ident", "num")
+                or prev.text in (")", "]")
+            )
+            if not is_subscript:
+                # Find matching ']'.
+                depth = 0
+                j = i
+                while j < n:
+                    if body[j].text == "[":
+                        depth += 1
+                    elif body[j].text == "]":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                k = j + 1
+                # Optional parameter list / specifiers before the body.
+                if k < n and body[k].text == "(":
+                    depth = 0
+                    while k < n:
+                        if body[k].text == "(":
+                            depth += 1
+                        elif body[k].text == ")":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        k += 1
+                    k += 1
+                while k < n and (
+                    body[k].kind == "ident"  # mutable / noexcept / -> Type
+                    or body[k].text in ("-", ">", "::", "<", ",", "*", "&")
+                ):
+                    k += 1
+                if k < n and body[k].text == "{":
+                    lambda_braces.add(k)
+                i = j + 1
+                continue
+        i += 1
+    return lambda_braces
+
+
+def receiver_key(body, idx, class_name):
+    """Key for `recv.Lock()` at body[idx] == 'Lock': walks the receiver."""
+    j = idx - 1
+    if j < 0 or body[j].text != ".":
+        return None
+    parts = []
+    j -= 1
+    while j >= 0 and (body[j].kind == "ident" or body[j].text in (".", "::")):
+        parts.append(body[j])
+        j -= 1
+    parts.reverse()
+    if not parts:
+        return None
+    return normalize_mutex_key(parts, class_name)
 
 
 def load_file(path, mode="auto", args=None):

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
@@ -145,6 +146,7 @@ def main(argv=None):
               file=sys.stderr)
         return 2
 
+    run_start = time.monotonic()
     lex_mode = "tokens" if args.mode == "tokens" else args.mode
     models = {}
     backends = set()
@@ -179,17 +181,22 @@ def main(argv=None):
         compile_commands,
         allow_missing_compile_commands=args.allow_missing_compile_commands,
     )
-    findings = run_checks(project, enabled)
+    timings = {}
+    findings = run_checks(project, enabled, timings=timings)
+    wall_time = time.monotonic() - run_start
 
     if args.format == "human":
-        sys.stdout.write(render_human(findings, len(models), mode))
+        sys.stdout.write(
+            render_human(findings, len(models), mode, timings, wall_time))
     elif args.format == "json":
-        sys.stdout.write(render_json(findings, len(models), mode, enabled))
+        sys.stdout.write(render_json(
+            findings, len(models), mode, enabled, timings, wall_time))
     else:
         sys.stdout.write(render_sarif(findings, mode))
     if args.json_output:
         with open(args.json_output, "w", encoding="utf-8") as f:
-            f.write(render_json(findings, len(models), mode, enabled))
+            f.write(render_json(
+                findings, len(models), mode, enabled, timings, wall_time))
     if args.sarif_output:
         with open(args.sarif_output, "w", encoding="utf-8") as f:
             f.write(render_sarif(findings, mode))

@@ -6,13 +6,36 @@ import json
 
 from checks import CHECKS
 
-JSON_SCHEMA = "qcluster.qlint.v1"
+JSON_SCHEMA = "qcluster.qlint.v2"
 
 
-def render_human(findings, files_scanned, mode):
+def _check_table(timings):
+    """Aligned per-check finding/runtime table for logs."""
+    if not timings:
+        return []
+    width = max(len(name) for name in timings)
+    lines = [f"  {'check':{width}s}  findings  ms"]
+    total_f = 0
+    total_s = 0.0
+    for name in sorted(timings):
+        entry = timings[name]
+        total_f += entry["findings"]
+        total_s += entry["seconds"]
+        lines.append(
+            f"  {name:{width}s}  {entry['findings']:8d}  "
+            f"{entry['seconds'] * 1000.0:6.1f}"
+        )
+    lines.append(
+        f"  {'total':{width}s}  {total_f:8d}  {total_s * 1000.0:6.1f}"
+    )
+    return lines
+
+
+def render_human(findings, files_scanned, mode, timings=None, wall_time=None):
     lines = []
     for f in findings:
         lines.append(f"{f.path}:{f.line}: error: [{f.check}] {f.message}")
+    wall = f", {wall_time:.2f}s" if wall_time is not None else ""
     if findings:
         by_check = {}
         for f in findings:
@@ -20,17 +43,19 @@ def render_human(findings, files_scanned, mode):
         summary = ", ".join(f"{k}: {v}" for k, v in sorted(by_check.items()))
         lines.append(
             f"qlint: {len(findings)} finding(s) in {files_scanned} file(s) "
-            f"({summary}) [mode: {mode}]"
+            f"({summary}) [mode: {mode}{wall}]"
         )
     else:
         lines.append(
             f"qlint: clean — {files_scanned} file(s), 0 findings "
-            f"[mode: {mode}]"
+            f"[mode: {mode}{wall}]"
         )
+    lines.extend(_check_table(timings))
     return "\n".join(lines) + "\n"
 
 
-def render_json(findings, files_scanned, mode, enabled):
+def render_json(findings, files_scanned, mode, enabled,
+                timings=None, wall_time=None):
     doc = {
         "schema": JSON_SCHEMA,
         "mode": mode,
@@ -47,6 +72,16 @@ def render_json(findings, files_scanned, mode, enabled):
             for f in findings
         ],
     }
+    if wall_time is not None:
+        doc["wall_time_seconds"] = round(wall_time, 4)
+    if timings is not None:
+        doc["per_check"] = {
+            name: {
+                "findings": entry["findings"],
+                "seconds": round(entry["seconds"], 4),
+            }
+            for name, entry in sorted(timings.items())
+        }
     return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
 
@@ -84,7 +119,7 @@ def render_sarif(findings, mode):
                         "name": "qlint",
                         "informationUri":
                             "docs/CORRECTNESS.md#project-contract-lints",
-                        "version": "1.0.0",
+                        "version": "2.0.0",
                         "properties": {"mode": mode},
                         "rules": rules,
                     }

@@ -1,0 +1,208 @@
+"""Repo-wide symbol table for qlint's interprocedural checks.
+
+Built once per run from the already-parsed FileModels (the single-pass
+parse cache): every class with its members and annotated method
+declarations, every function definition, and the lock-contract facts the
+dataflow checks consume —
+
+  * ``requires_keys(name, class_hint)``: the union of normalized
+    QCLUSTER_REQUIRES mutex keys over a function's declarations *and*
+    definitions, so a REQUIRES that (per the Clang convention) lives only
+    on the header prototype still reaches callers in other TUs.
+    REQUIRES clauses that name a *parameter* of the function (e.g.
+    ``CondVar::Wait(Mutex& mu) QCLUSTER_REQUIRES(mu)``) are excluded:
+    key-based propagation cannot relate a parameter to a caller's lock.
+  * ``guarded_members``: member name -> [(class qualified name, guard
+    key)] for every QCLUSTER_GUARDED_BY/PT_GUARDED_BY member, the taint
+    seeds for escape analysis.
+  * class metadata (mutable members, mutex-owning) for the
+    snapshot-discipline accessor audit.
+
+Functions are keyed by unqualified name; resolution disambiguates by
+class when possible and reports ambiguity otherwise, so checks can stay
+conservative instead of guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from model import (
+    GUARD_ANNOTATIONS,
+    FunctionScope,
+    MethodDecl,
+    normalize_mutex_key,
+    split_args,
+)
+
+
+@dataclasses.dataclass
+class FunctionEntry:
+    """One declaration or definition of a function, with its origin."""
+
+    name: str
+    class_name: str          # "" for free functions.
+    path: str
+    line: int
+    requires_keys: Tuple[str, ...]
+    fn: Optional[FunctionScope]  # None for body-less declarations.
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    qualified_name: str
+    name: str
+    path: str
+    line: int
+    owns_mutex: bool
+    mutex_names: Tuple[str, ...]
+    has_mutable_state: bool
+    guarded: Dict[str, str]  # member name -> normalized guard key.
+
+
+def _requires_keys(groups, class_name, param_names):
+    keys = []
+    params = set(param_names)
+    for group in groups:
+        for arg in split_args(group):
+            texts = [t.text for t in arg]
+            if len(texts) == 1 and texts[0] in params:
+                continue  # Parameter capability: not key-checkable.
+            keys.append(normalize_mutex_key(arg, class_name))
+    return tuple(keys)
+
+
+class SymbolTable:
+    def __init__(self, models):
+        # name -> list of FunctionEntry (decls and defs merged).
+        self.functions: Dict[str, List[FunctionEntry]] = {}
+        # qualified class name -> ClassInfo.
+        self.classes: Dict[str, ClassInfo] = {}
+        # member name -> [(class qualified name, guard key)].
+        self.guarded_members: Dict[str, List[Tuple[str, str]]] = {}
+        self._requires_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        self._build(models)
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self, models):
+        for path, m in models.items():
+            for cls in m.classes:
+                self._add_class(path, cls)
+                for decl in cls.method_decls:
+                    self._add_entry(FunctionEntry(
+                        decl.name, cls.name, path, decl.line,
+                        _requires_keys(decl.requires, cls.name,
+                                       decl.param_names),
+                        None,
+                    ))
+            for fn in m.functions:
+                self._add_entry(FunctionEntry(
+                    fn.name, fn.class_name, path, fn.begin_line,
+                    _requires_keys(fn.requires, fn.class_name,
+                                   fn.param_names),
+                    fn,
+                ))
+
+    def _add_class(self, path, cls):
+        guarded = {}
+        for member in cls.members:
+            for a in member.annotations:
+                if a.name in GUARD_ANNOTATIONS and a.args:
+                    key = normalize_mutex_key(a.args, cls.name)
+                    guarded[member.name] = key
+                    self.guarded_members.setdefault(member.name, []).append(
+                        (cls.qualified_name, key)
+                    )
+        mutexes = tuple(m.name for m in cls.members if m.is_mutex)
+        has_mutable = any(
+            not (m.is_const or m.is_static or m.is_mutex or m.is_condvar)
+            for m in cls.members
+        )
+        info = ClassInfo(cls.qualified_name, cls.name, path, cls.line,
+                         owns_mutex=bool(mutexes), mutex_names=mutexes,
+                         has_mutable_state=has_mutable, guarded=guarded)
+        existing = self.classes.get(cls.qualified_name)
+        if existing is not None:
+            # Same class seen in several models (rare: redefinition across
+            # fixtures): merge guard facts conservatively.
+            existing.guarded.update(guarded)
+            existing.owns_mutex = existing.owns_mutex or info.owns_mutex
+            existing.has_mutable_state = (
+                existing.has_mutable_state or info.has_mutable_state
+            )
+        else:
+            self.classes[cls.qualified_name] = info
+
+    def _add_entry(self, entry):
+        self.functions.setdefault(entry.name, []).append(entry)
+
+    # -- queries ----------------------------------------------------------
+
+    def entries(self, name) -> List[FunctionEntry]:
+        return self.functions.get(name, [])
+
+    def resolve_class(self, name, class_hint) -> Optional[str]:
+        """The class a call to `name` resolves to, or None when ambiguous.
+
+        `class_hint` is the caller's class for unqualified calls, or the
+        receiver's class for qualified ones. Returns "" for free
+        functions.
+        """
+        entries = self.entries(name)
+        if not entries:
+            return None
+        classes = {e.class_name for e in entries}
+        if class_hint and class_hint in classes:
+            return class_hint
+        if len(classes) == 1:
+            return next(iter(classes))
+        return None
+
+    def requires_keys(self, name, class_name) -> Tuple[str, ...]:
+        """Union of REQUIRES keys over all decls/defs of (class, name)."""
+        cached = self._requires_cache.get((name, class_name))
+        if cached is not None:
+            return cached
+        keys = []
+        for e in self.entries(name):
+            if e.class_name != class_name:
+                continue
+            for k in e.requires_keys:
+                if k not in keys:
+                    keys.append(k)
+        result = tuple(keys)
+        self._requires_cache[(name, class_name)] = result
+        return result
+
+    def definitions(self, name, class_name=None) -> List[FunctionEntry]:
+        return [
+            e for e in self.entries(name)
+            if e.fn is not None
+            and (class_name is None or e.class_name == class_name)
+        ]
+
+    def guard_key_of(self, member_name, class_hint=None) -> Optional[str]:
+        """The guard key of a guarded member name, or None.
+
+        With several same-named guarded members across classes the hint
+        picks the match; without a usable hint the key is returned only
+        when all candidates agree.
+        """
+        candidates = self.guarded_members.get(member_name)
+        if not candidates:
+            return None
+        if class_hint:
+            for qualified, key in candidates:
+                if qualified == class_hint or \
+                        qualified.split("::")[-1] == class_hint:
+                    return key
+        keys = {key for _, key in candidates}
+        if len(keys) == 1:
+            return next(iter(keys))
+        return None
+
+
+def build_symbol_table(models) -> SymbolTable:
+    return SymbolTable(models)
